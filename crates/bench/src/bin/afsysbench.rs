@@ -1,0 +1,91 @@
+//! The AFSysBench CLI: regenerate any paper table or figure.
+//!
+//! ```text
+//! afsysbench <experiment> [--quick] [--out DIR]
+//! afsysbench all [--quick] [--out DIR]
+//! ```
+
+use afsb_bench::Harness;
+use std::fs;
+use std::path::PathBuf;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "fig5",
+    "fig6", "fig7", "fig8", "fig9", "ablation-persistent", "ablation-storage", "estimator",
+    "recommend",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: afsysbench <experiment|all> [--quick] [--out DIR]\n\nexperiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
+    let out = match name {
+        "table1" => harness.table1(),
+        "table2" => harness.table2(),
+        "table3" => harness.table3(),
+        "table4" => harness.table4(),
+        "table5" => harness.table5(),
+        "table6" | "fig9" => harness.fig9_table6(),
+        "fig2" => harness.fig2(),
+        "fig3" => {
+            let (table, csv) = harness.fig3();
+            format!("{table}\nCSV:\n{csv}")
+        }
+        "fig4" => harness.fig4(),
+        "fig5" => harness.fig5(),
+        "fig6" => harness.fig6(),
+        "fig7" => harness.fig7(),
+        "fig8" => harness.fig8(),
+        "ablation-persistent" => harness.ablation_persistent(),
+        "ablation-storage" => harness.ablation_storage(),
+        "estimator" => harness.estimator(),
+        "recommend" => harness.recommend(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_dir = it.next().map(PathBuf::from),
+            "-h" | "--help" => usage(),
+            name if target.is_none() => target = Some(name.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(target) = target else { usage() };
+
+    let mut harness = Harness::new(quick);
+    let names: Vec<&str> = if target == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+
+    for name in names {
+        let Some(output) = run_one(&mut harness, name) else {
+            eprintln!("unknown experiment: {name}");
+            usage();
+        };
+        println!("\n########## {name} ##########\n{output}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = fs::create_dir_all(dir)
+                .and_then(|_| fs::write(dir.join(format!("{name}.txt")), &output))
+            {
+                eprintln!("failed to write {name}: {e}");
+            }
+        }
+    }
+}

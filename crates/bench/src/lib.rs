@@ -1,0 +1,11 @@
+//! AFSysBench experiment harness.
+//!
+//! One function per paper table/figure; the `afsysbench` binary dispatches
+//! to them and the integration tests assert on their structured outputs.
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-simulated values.
+
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::Harness;

@@ -1,0 +1,76 @@
+//! Reference values transcribed from the paper, for side-by-side
+//! paper-vs-simulated reporting (EXPERIMENTS.md).
+
+/// Fig. 2: (RNA length nt, peak GiB). The 1,335-nt input OOM-failed above
+/// 768 GiB.
+pub const FIG2_PAPER: [(usize, f64); 3] = [(621, 79.3), (935, 506.0), (1135, 644.0)];
+
+/// Table III (2PV7): `(metric, xeon_1t, xeon_4t, xeon_6t, ryzen_1t,
+/// ryzen_4t, ryzen_6t)`.
+pub const TABLE3_2PV7: [(&str, f64, f64, f64, f64, f64, f64); 6] = [
+    ("IPC", 3.68, 3.56, 3.49, 3.08, 2.91, 2.85),
+    ("Cache Miss", 17.4, 30.9, 41.0, 15.1, 13.1, 12.4),
+    ("L1 Miss (%)", 0.14, 0.16, 0.15, 0.68, 0.87, 0.86),
+    ("LLC Miss (%)", 56.2, 55.6, 56.4, 1.1, 6.3, 41.4),
+    ("dTLB Miss (%)", 0.01, 0.01, 0.01, 20.1, 35.7, 37.0),
+    ("Branch Miss (%)", 0.22, 0.22, 0.22, 0.89, 0.96, 0.96),
+];
+
+/// Table III (promo).
+pub const TABLE3_PROMO: [(&str, f64, f64, f64, f64, f64, f64); 6] = [
+    ("IPC", 3.34, 3.39, 3.40, 2.99, 2.77, 2.48),
+    ("Cache Miss", 33.3, 31.9, 35.6, 5.31, 4.85, 4.14),
+    ("L1 Miss (%)", 0.47, 0.47, 0.47, 1.75, 1.94, 2.45),
+    ("LLC Miss (%)", 59.6, 55.5, 38.6, 26.3, 26.3, 19.0),
+    ("dTLB Miss (%)", 0.00, 0.00, 0.01, 6.55, 11.9, 10.4),
+    ("Branch Miss (%)", 0.30, 0.30, 0.30, 0.88, 0.89, 0.91),
+];
+
+/// Table IV, 2PV7 CPU-cycle shares: `(symbol, pct_1t, pct_4t)`.
+pub const TABLE4_CYCLES_2PV7: [(&str, f64, f64); 4] = [
+    ("calc_band_9", 28.7, 27.05),
+    ("calc_band_10", 26.29, 25.98),
+    ("addbuf", 16.34, 17.40),
+    ("seebuf", 6.09, 6.07),
+];
+
+/// Table IV, 2PV7 cache-miss shares: `(symbol, pct_1t, pct_4t)`.
+pub const TABLE4_MISSES_2PV7: [(&str, f64, f64); 3] = [
+    ("copy_to_iter", 46.47, 24.51),
+    ("calc_band_9", 14.24, 27.02),
+    ("addbuf", 10.02, 17.28),
+];
+
+/// Table V: `(event, symbol, sample, overhead_pct)`.
+pub const TABLE5: [(&str, &str, &str, f64); 6] = [
+    ("Page Faults", "_M_fill_insert", "2PV7", 12.99),
+    ("Page Faults", "_M_fill_insert", "promo", 16.83),
+    ("dTLB Load Misses", "ShapeUtil::ByteSizeOf", "2PV7", 5.99),
+    ("dTLB Load Misses", "ShapeUtil::ByteSizeOf", "promo", 3.89),
+    ("LLC Load Misses", "copy_to_iter", "2PV7", 6.90),
+    ("LLC Load Misses", "copy_to_iter", "6QNR", 5.80),
+];
+
+/// Table VI: layer-wise times in ms: `(layer, 2pv7_ms, promo_ms)`.
+pub const TABLE6: [(&str, f64, f64); 6] = [
+    ("Pairformer", 15.87, 53.19),
+    ("triangle mult. update", 4.03, 12.03),
+    ("triangle attention", 8.14, 31.09),
+    ("Diffusion", 80.37, 147.53),
+    ("local attn. (encoder)", 12.49, 20.15),
+    ("global attention", 53.08, 102.64),
+];
+
+/// Fig. 9 (2PV7): combined-pie shares in percent.
+pub const FIG9_2PV7: [(&str, f64); 3] = [
+    ("triangle mult. update", 8.4),
+    ("triangle attention", 44.6),
+    ("global attention", 24.4),
+];
+
+/// Fig. 8 (Desktop, 2PV7): seconds per phase.
+pub const FIG8_DESKTOP_2PV7: [(&str, f64); 3] = [
+    ("gpu_compute", 71.0),
+    ("xla_compile", 10.0),
+    ("init+finalize", 19.0),
+];

@@ -1,0 +1,229 @@
+//! Static memory estimation (§VI "Memory Estimation Based on Input
+//! Features").
+//!
+//! AF3 performs no admission check: a long-RNA job runs for hours of MSA
+//! and then dies on an OOM kill (§III-C). The paper proposes estimating
+//! peak memory *from the input JSON alone* before execution. This module
+//! is that estimator: it combines the calibrated nhmmer curve (Fig. 2)
+//! with the protein jackhmmer model and the inference working-set model,
+//! and issues a verdict against a platform's capacity.
+
+use afsb_hmmer::{jackhmmer, nhmmer};
+use afsb_model::config::ModelConfig;
+use afsb_model::features;
+use afsb_model::inference::working_set_bytes;
+use afsb_seq::alphabet::MoleculeKind;
+use afsb_seq::chain::Assembly;
+use afsb_simarch::memory::{AdmissionOutcome, CapacityModel};
+use afsb_simarch::Platform;
+use std::fmt;
+
+/// The estimator's verdict for one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseEstimate {
+    /// Projected peak bytes.
+    pub peak_bytes: u64,
+    /// Admission outcome against the platform.
+    pub outcome: AdmissionOutcome,
+}
+
+/// A full pre-flight report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreflightReport {
+    /// Host-memory estimate for the MSA phase.
+    pub msa: PhaseEstimate,
+    /// GPU-memory estimate for the inference phase (against device
+    /// memory; over-capacity means unified-memory fallback, not OOM).
+    pub inference_device_bytes: u64,
+    /// Whether inference fits device memory without unified memory.
+    pub inference_fits_device: bool,
+    /// Human-readable warnings.
+    pub warnings: Vec<String>,
+}
+
+impl PreflightReport {
+    /// Whether the job is safe to launch at all.
+    pub fn safe(&self) -> bool {
+        self.msa.outcome.completes()
+    }
+}
+
+impl fmt::Display for PreflightReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "MSA peak estimate: {:.1} GiB -> {}",
+            self.msa.peak_bytes as f64 / (1u64 << 30) as f64,
+            self.msa.outcome
+        )?;
+        writeln!(
+            f,
+            "Inference device estimate: {:.1} GiB ({})",
+            self.inference_device_bytes as f64 / (1u64 << 30) as f64,
+            if self.inference_fits_device {
+                "fits device memory"
+            } else {
+                "requires unified memory"
+            }
+        )?;
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The static memory estimator.
+#[derive(Debug, Clone)]
+pub struct MemoryEstimator {
+    threads: usize,
+    model: ModelConfig,
+}
+
+impl MemoryEstimator {
+    /// Estimator for a given MSA thread count (AF3 defaults to 8).
+    pub fn new(threads: usize) -> MemoryEstimator {
+        MemoryEstimator {
+            threads: threads.max(1),
+            model: ModelConfig::paper(),
+        }
+    }
+
+    /// Projected MSA-phase peak bytes for an assembly: the maximum over
+    /// per-chain models (the paper found chain *count* has negligible
+    /// impact; the longest RNA dominates).
+    pub fn msa_peak_bytes(&self, assembly: &Assembly) -> u64 {
+        let mut peak = 1 << 30; // runtime floor
+        for chain in assembly.chains() {
+            let len = chain.sequence().len();
+            let b = match chain.kind() {
+                MoleculeKind::Protein => jackhmmer::paper_peak_bytes(len, self.threads),
+                MoleculeKind::Rna => nhmmer::paper_peak_bytes(len),
+                _ => 0,
+            };
+            peak = peak.max(b);
+        }
+        peak
+    }
+
+    /// Full pre-flight check against a platform.
+    pub fn preflight(&self, assembly: &Assembly, platform: Platform) -> PreflightReport {
+        let spec = platform.spec();
+        let capacity = CapacityModel::new(&spec);
+        let msa_peak = self.msa_peak_bytes(assembly);
+        let outcome = capacity.admit(msa_peak);
+
+        let feats = features::featurize(assembly);
+        let device_bytes = working_set_bytes(feats.n_tokens(), feats.atoms, &self.model);
+        let device_capacity = match platform {
+            Platform::Server => 80u64 << 30,
+            Platform::Desktop => 16u64 << 30,
+        };
+        let fits_device = device_bytes <= device_capacity;
+
+        let mut warnings = Vec::new();
+        if !outcome.completes() {
+            warnings.push(format!(
+                "projected MSA peak ({:.0} GiB) exceeds {} host memory — the run would be OOM-killed mid-MSA",
+                msa_peak as f64 / (1u64 << 30) as f64,
+                platform
+            ));
+        }
+        let rna_len = assembly.max_chain_len(MoleculeKind::Rna);
+        if rna_len > 900 {
+            warnings.push(format!(
+                "RNA chain of {rna_len} nt is in the non-linear nhmmer regime; consider CXL expansion or chain splitting"
+            ));
+        }
+        if !fits_device {
+            warnings.push(format!(
+                "inference working set ({:.0} GiB) exceeds {} GPU memory; unified-memory fallback will slow kernels",
+                device_bytes as f64 / (1u64 << 30) as f64,
+                platform
+            ));
+        }
+        PreflightReport {
+            msa: PhaseEstimate {
+                peak_bytes: msa_peak,
+                outcome,
+            },
+            inference_device_bytes: device_bytes,
+            inference_fits_device: fits_device,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afsb_seq::samples::{self, SampleId};
+
+    #[test]
+    fn fig2_thresholds_reproduced() {
+        let est = MemoryEstimator::new(8);
+        // 621 nt RNA: fits server DRAM.
+        let asm = samples::rna_memory_probe(621);
+        let r = est.preflight(&asm, Platform::Server);
+        assert!(r.safe());
+        // 1,135 nt: completes only thanks to CXL.
+        let asm = samples::rna_memory_probe(1135);
+        let r = est.preflight(&asm, Platform::Server);
+        assert!(r.safe());
+        assert!(!r.warnings.is_empty());
+        // 1,335 nt: fails even with CXL.
+        let asm = samples::rna_memory_probe(1335);
+        let r = est.preflight(&asm, Platform::Server);
+        assert!(!r.safe());
+    }
+
+    #[test]
+    fn desktop_rejects_what_server_accepts() {
+        let est = MemoryEstimator::new(8);
+        let asm = samples::rna_memory_probe(621); // 79.3 GiB > 64 GiB
+        assert!(est.preflight(&asm, Platform::Server).safe());
+        assert!(!est.preflight(&asm, Platform::Desktop).safe());
+    }
+
+    #[test]
+    fn protein_inputs_are_modest() {
+        let est = MemoryEstimator::new(8);
+        for id in [SampleId::S2pv7, SampleId::S1yy9, SampleId::Promo] {
+            let asm = samples::sample(id).assembly;
+            let r = est.preflight(&asm, Platform::Desktop);
+            assert!(r.safe(), "{id} must fit the desktop");
+            assert!(r.msa.peak_bytes < 4 << 30, "{id} peak modest");
+        }
+    }
+
+    #[test]
+    fn estimate_monotone_in_rna_length() {
+        let est = MemoryEstimator::new(8);
+        let mut prev = 0;
+        for len in [200, 400, 621, 800, 935, 1135, 1335] {
+            let peak = est.msa_peak_bytes(&samples::rna_memory_probe(len));
+            assert!(peak > prev, "monotone at {len}");
+            prev = peak;
+        }
+    }
+
+    #[test]
+    fn qnr_triggers_uvm_warning_on_desktop() {
+        let est = MemoryEstimator::new(8);
+        let asm = samples::sample(SampleId::S6qnr).assembly;
+        let r = est.preflight(&asm, Platform::Desktop);
+        assert!(!r.inference_fits_device);
+        assert!(r.warnings.iter().any(|w| w.contains("unified-memory")));
+        let r = est.preflight(&asm, Platform::Server);
+        assert!(r.inference_fits_device);
+    }
+
+    #[test]
+    fn display_mentions_outcomes() {
+        let est = MemoryEstimator::new(8);
+        let r = est.preflight(&samples::rna_memory_probe(1335), Platform::Server);
+        let text = r.to_string();
+        assert!(text.contains("OOM"));
+        assert!(text.contains("warning"));
+    }
+}

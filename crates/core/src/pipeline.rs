@@ -1,0 +1,139 @@
+//! End-to-end AF3 pipeline: MSA phase + inference phase.
+
+use crate::context::SampleSearchData;
+use crate::inference_phase::{self, InferenceOptions, InferencePhaseResult};
+use crate::msa_phase::{self, MsaPhaseOptions, MsaPhaseResult};
+use afsb_model::ModelConfig;
+use afsb_simarch::Platform;
+
+/// Options for an end-to-end run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineOptions {
+    /// MSA-phase options.
+    pub msa: MsaPhaseOptions,
+    /// Model configuration for inference.
+    pub model: Option<ModelConfig>,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+/// Result of one end-to-end pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Sample name.
+    pub sample: String,
+    /// Platform.
+    pub platform: Platform,
+    /// Threads.
+    pub threads: usize,
+    /// MSA phase result.
+    pub msa: MsaPhaseResult,
+    /// Inference phase result.
+    pub inference: InferencePhaseResult,
+}
+
+impl PipelineResult {
+    /// MSA wall seconds.
+    pub fn msa_seconds(&self) -> f64 {
+        self.msa.wall_seconds()
+    }
+
+    /// Inference wall seconds.
+    pub fn inference_seconds(&self) -> f64 {
+        self.inference.wall_seconds()
+    }
+
+    /// End-to-end wall seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.msa_seconds() + self.inference_seconds()
+    }
+
+    /// MSA share of end-to-end time, in `[0, 1]` (Fig. 7).
+    pub fn msa_share(&self) -> f64 {
+        self.msa_seconds() / self.total_seconds().max(1e-12)
+    }
+
+    /// Whether the run completed (no OOM).
+    pub fn completed(&self) -> bool {
+        self.msa.completed()
+    }
+}
+
+/// Run the full pipeline for a sample's executed search data.
+pub fn run_pipeline(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    options: &PipelineOptions,
+) -> PipelineResult {
+    let msa = msa_phase::run_msa_phase(data, platform, threads, &options.msa);
+    let inference_options = InferenceOptions {
+        model: options.model.unwrap_or_else(ModelConfig::paper),
+        msa_depth: data.msa_depth,
+        threads,
+        seed: options.seed ^ 0x99,
+    };
+    let inference =
+        inference_phase::run_inference_phase(&data.sample.assembly, platform, &inference_options);
+    PipelineResult {
+        sample: data.sample.id.name().to_owned(),
+        platform,
+        threads,
+        msa,
+        inference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{BenchContext, ContextConfig};
+    use afsb_seq::samples::SampleId;
+
+    fn options() -> PipelineOptions {
+        PipelineOptions {
+            msa: MsaPhaseOptions {
+                sample_cap: 100_000,
+                ..MsaPhaseOptions::default()
+            },
+            model: Some(ModelConfig::tiny()),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn msa_dominates_end_to_end() {
+        // The paper's headline: MSA is 70–94 % of total runtime.
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S1yy9);
+        for platform in Platform::all() {
+            let r = run_pipeline(&data, platform, 4, &options());
+            assert!(
+                r.msa_share() > 0.5,
+                "{platform}: MSA share {:.2} should dominate",
+                r.msa_share()
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S7rce);
+        let r = run_pipeline(&data, Platform::Desktop, 2, &options());
+        assert!(
+            (r.total_seconds() - r.msa_seconds() - r.inference_seconds()).abs() < 1e-9
+        );
+        assert!(r.completed());
+        assert_eq!(r.sample, "7RCE");
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S7rce);
+        let a = run_pipeline(&data, Platform::Server, 2, &options());
+        let b = run_pipeline(&data, Platform::Server, 2, &options());
+        assert_eq!(a.total_seconds(), b.total_seconds());
+    }
+}

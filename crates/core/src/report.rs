@@ -1,0 +1,257 @@
+//! Paper-shaped table and figure renderers.
+//!
+//! Each function produces the same rows/series the paper reports, as
+//! ASCII tables (for the terminal) or CSV (for plotting). The experiment
+//! harness (`afsb-bench`) calls these.
+
+use crate::msa_phase::MsaPhaseResult;
+use crate::pipeline::PipelineResult;
+use afsb_simarch::perf::PerfReport;
+use afsb_simarch::{Platform, SimResult};
+use std::fmt::Write as _;
+
+/// Render a plain ASCII table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "| {h:<w$} ");
+    }
+    line.push('|');
+    let sep = "-".repeat(line.len());
+    let _ = writeln!(out, "{sep}\n{line}\n{sep}");
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "| {cell:<w$} ");
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{sep}");
+    out
+}
+
+/// Render CSV with a header row.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// The CPU metric rows of Table III for one simulated MSA phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuMetrics {
+    /// Aggregate instructions per cycle.
+    pub ipc: f64,
+    /// LLC (`cache-misses` event) misses per 1000 instructions.
+    pub cache_miss_per_kinst: f64,
+    /// L1D miss ratio (percent).
+    pub l1_miss_pct: f64,
+    /// LLC miss ratio (percent).
+    pub llc_miss_pct: f64,
+    /// dTLB load-miss ratio (percent).
+    pub dtlb_miss_pct: f64,
+    /// Branch misprediction ratio (percent).
+    pub branch_miss_pct: f64,
+}
+
+/// Extract Table III metrics from a simulation result.
+pub fn cpu_metrics(sim: &SimResult) -> CpuMetrics {
+    let t = &sim.totals;
+    CpuMetrics {
+        ipc: sim.ipc(),
+        cache_miss_per_kinst: t.cache_miss_per_kinst(),
+        l1_miss_pct: t.l1_miss_ratio() * 100.0,
+        llc_miss_pct: t.llc_miss_ratio() * 100.0,
+        dtlb_miss_pct: t.tlb_miss_ratio() * 100.0,
+        branch_miss_pct: t.branch_miss_ratio() * 100.0,
+    }
+}
+
+/// Table III: one input's metric block across platforms and thread
+/// counts. `results[platform][thread_idx]`.
+pub fn table3(
+    input: &str,
+    threads: &[usize],
+    server: &[MsaPhaseResult],
+    desktop: &[MsaPhaseResult],
+) -> String {
+    let mut rows = Vec::new();
+    let metric_names = [
+        "IPC",
+        "Cache Miss (/1k inst)",
+        "L1 Miss (%)",
+        "LLC Miss (%)",
+        "dTLB Miss (%)",
+        "Branch Miss (%)",
+    ];
+    let pick = |m: &CpuMetrics, idx: usize| match idx {
+        0 => m.ipc,
+        1 => m.cache_miss_per_kinst,
+        2 => m.l1_miss_pct,
+        3 => m.llc_miss_pct,
+        4 => m.dtlb_miss_pct,
+        _ => m.branch_miss_pct,
+    };
+    for (mi, name) in metric_names.iter().enumerate() {
+        let mut row = vec![input.to_owned(), (*name).to_owned()];
+        for r in server {
+            row.push(format!("{:.2}", pick(&cpu_metrics(&r.sim), mi)));
+        }
+        for r in desktop {
+            row.push(format!("{:.2}", pick(&cpu_metrics(&r.sim), mi)));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["Input".into(), "Metric".into()];
+    for t in threads {
+        headers.push(format!("Xeon {t}T"));
+    }
+    for t in threads {
+        headers.push(format!("Ryzen {t}T"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    ascii_table(&header_refs, &rows)
+}
+
+/// Table IV: function-level cycle and cache-miss shares at two thread
+/// counts.
+pub fn table4(input: &str, t1: &PerfReport, t4: &PerfReport) -> String {
+    let symbols = [
+        "calc_band_9",
+        "calc_band_10",
+        "addbuf",
+        "seebuf",
+        "copy_to_iter",
+    ];
+    let mut rows = Vec::new();
+    for sym in symbols {
+        rows.push(vec![
+            "CPU Cycles (%)".to_owned(),
+            sym.to_owned(),
+            format!("{:.2}", t1.cycles_share(sym) * 100.0),
+            format!("{:.2}", t4.cycles_share(sym) * 100.0),
+        ]);
+    }
+    for sym in ["copy_to_iter", "calc_band_9", "addbuf"] {
+        rows.push(vec![
+            "Cache Misses (%)".to_owned(),
+            sym.to_owned(),
+            format!("{:.2}", t1.cache_miss_share(sym) * 100.0),
+            format!("{:.2}", t4.cache_miss_share(sym) * 100.0),
+        ]);
+    }
+    let title = format!("{input} 1T");
+    let title4 = format!("{input} 4T");
+    ascii_table(&["Metric", "Function", &title, &title4], &rows)
+}
+
+/// Fig. 3/4 series: stacked phase seconds per (sample, platform, thread).
+pub fn phase_series_csv(results: &[PipelineResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.sample.clone(),
+                r.platform.to_string(),
+                r.threads.to_string(),
+                format!("{:.1}", r.msa_seconds()),
+                format!("{:.1}", r.inference_seconds()),
+                format!("{:.1}", r.total_seconds()),
+                format!("{:.3}", r.msa_share()),
+            ]
+        })
+        .collect();
+    csv(
+        &[
+            "sample",
+            "platform",
+            "threads",
+            "msa_s",
+            "inference_s",
+            "total_s",
+            "msa_share",
+        ],
+        &rows,
+    )
+}
+
+/// Format seconds compactly (`123.4s` / `1h 2m`).
+pub fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        return "OOM".to_owned();
+    }
+    if s < 120.0 {
+        format!("{s:.1}s")
+    } else if s < 7200.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{:.2}h", s / 3600.0)
+    }
+}
+
+/// Platform label used in figure outputs.
+pub fn platform_label(p: Platform) -> &'static str {
+    match p {
+        Platform::Server => "Server (Xeon + H100)",
+        Platform::Desktop => "Desktop (Ryzen + RTX 4080)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_aligns() {
+        let t = ascii_table(
+            &["A", "Long header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer cell".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("| A "));
+        assert!(t.contains("| longer cell "));
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ascii_table_checks_widths() {
+        let _ = ascii_table(&["A", "B"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_seconds_ranges() {
+        assert_eq!(fmt_seconds(12.34), "12.3s");
+        assert_eq!(fmt_seconds(600.0), "10.0m");
+        assert_eq!(fmt_seconds(8000.0), "2.22h");
+        assert_eq!(fmt_seconds(f64::NAN), "OOM");
+    }
+}

@@ -1,0 +1,160 @@
+//! Serializable result summaries (JSON export for plotting pipelines).
+//!
+//! The ASCII tables in [`crate::report`] are for terminals; downstream
+//! plotting (the figures proper) wants structured records. This module
+//! flattens pipeline results into serde-serializable rows.
+
+use crate::msa_phase::MsaPhaseResult;
+use crate::pipeline::PipelineResult;
+use serde::{Deserialize, Serialize};
+
+/// One flattened end-to-end measurement row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRecord {
+    /// Sample name.
+    pub sample: String,
+    /// Platform name.
+    pub platform: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// MSA wall seconds.
+    pub msa_s: f64,
+    /// Inference wall seconds.
+    pub inference_s: f64,
+    /// End-to-end wall seconds.
+    pub total_s: f64,
+    /// MSA share of total, in `[0, 1]`.
+    pub msa_share: f64,
+    /// Whether the run completed (no OOM).
+    pub completed: bool,
+    /// Aggregate MSA-phase IPC.
+    pub msa_ipc: f64,
+    /// MSA-phase LLC miss ratio.
+    pub msa_llc_miss: f64,
+    /// Inference init seconds.
+    pub init_s: f64,
+    /// Inference XLA-compile seconds.
+    pub xla_s: f64,
+    /// Inference GPU-compute seconds.
+    pub gpu_s: f64,
+    /// Unified-memory spill fraction.
+    pub uvm_fraction: f64,
+}
+
+impl From<&PipelineResult> for PipelineRecord {
+    fn from(r: &PipelineResult) -> PipelineRecord {
+        PipelineRecord {
+            sample: r.sample.clone(),
+            platform: r.platform.to_string(),
+            threads: r.threads,
+            msa_s: r.msa_seconds(),
+            inference_s: r.inference_seconds(),
+            total_s: r.total_seconds(),
+            msa_share: r.msa_share(),
+            completed: r.completed(),
+            msa_ipc: r.msa.sim.ipc(),
+            msa_llc_miss: r.msa.sim.totals.llc_miss_ratio(),
+            init_s: r.inference.breakdown.init_s,
+            xla_s: r.inference.breakdown.xla_compile_s,
+            gpu_s: r.inference.breakdown.gpu_compute_s,
+            uvm_fraction: r.inference.breakdown.uvm_fraction,
+        }
+    }
+}
+
+/// One flattened MSA-sweep row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsaSweepRecord {
+    /// Platform name.
+    pub platform: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// MSA wall seconds.
+    pub wall_s: f64,
+    /// Simulated CPU seconds (excl. I/O and thread overhead).
+    pub cpu_s: f64,
+    /// iostat device utilization percent.
+    pub nvme_util_pct: f64,
+    /// Peak memory bytes (paper-scale model).
+    pub peak_memory_bytes: u64,
+}
+
+impl From<&MsaPhaseResult> for MsaSweepRecord {
+    fn from(r: &MsaPhaseResult) -> MsaSweepRecord {
+        MsaSweepRecord {
+            platform: r.platform.to_string(),
+            threads: r.threads,
+            wall_s: r.wall_seconds(),
+            cpu_s: r.cpu_seconds,
+            nvme_util_pct: r.iostat.util_pct,
+            peak_memory_bytes: r.peak_memory_bytes,
+        }
+    }
+}
+
+/// Serialize records to pretty JSON.
+///
+/// # Errors
+///
+/// Returns the underlying serde error (practically unreachable for these
+/// plain records).
+pub fn to_json<T: Serialize>(records: &[T]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{BenchContext, ContextConfig};
+    use crate::msa_phase::MsaPhaseOptions;
+    use crate::pipeline::{run_pipeline, PipelineOptions};
+    use afsb_model::ModelConfig;
+    use afsb_seq::samples::SampleId;
+    use afsb_simarch::Platform;
+
+    fn result() -> PipelineResult {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S7rce);
+        run_pipeline(
+            &data,
+            Platform::Desktop,
+            2,
+            &PipelineOptions {
+                msa: MsaPhaseOptions {
+                    sample_cap: 60_000,
+                    ..MsaPhaseOptions::default()
+                },
+                model: Some(ModelConfig::tiny()),
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = result();
+        let record = PipelineRecord::from(&r);
+        let json = to_json(std::slice::from_ref(&record)).unwrap();
+        let back: Vec<PipelineRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        // Compare with a tolerance: JSON float text is the shortest
+        // round-trippable representation, which can differ in the last ULP.
+        assert_eq!(back[0].sample, record.sample);
+        assert_eq!(back[0].threads, record.threads);
+        assert!((back[0].total_s - record.total_s).abs() < 1e-9);
+        assert!((back[0].msa_llc_miss - record.msa_llc_miss).abs() < 1e-9);
+        assert!(json.contains("\"sample\": \"7RCE\""));
+    }
+
+    #[test]
+    fn record_fields_consistent_with_result() {
+        let r = result();
+        let record = PipelineRecord::from(&r);
+        assert!((record.total_s - record.msa_s - record.inference_s).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&record.msa_share));
+        assert!(record.completed);
+        let sweep = MsaSweepRecord::from(&r.msa);
+        assert_eq!(sweep.threads, 2);
+        assert!(sweep.wall_s >= sweep.cpu_s);
+    }
+}

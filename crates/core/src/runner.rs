@@ -1,0 +1,169 @@
+//! Sweep execution: thread scaling, platform comparison, repeatability,
+//! and the adaptive thread recommendation of Observation 3.
+
+use crate::context::SampleSearchData;
+use crate::msa_phase::{self, MsaPhaseOptions, MsaPhaseResult};
+use crate::pipeline::{self, PipelineOptions, PipelineResult};
+use afsb_simarch::Platform;
+
+/// The paper's MSA thread sweep (§III-D).
+pub const MSA_THREAD_SWEEP: [usize; 5] = [1, 2, 4, 6, 8];
+/// The paper's inference thread sweep (§IV-C2).
+pub const INFERENCE_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 6];
+
+/// One point of a thread sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Thread count.
+    pub threads: usize,
+    /// Full pipeline result.
+    pub result: PipelineResult,
+}
+
+/// Run an end-to-end thread sweep.
+pub fn thread_sweep(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: &[usize],
+    options: &PipelineOptions,
+) -> Vec<SweepPoint> {
+    threads
+        .iter()
+        .map(|&t| SweepPoint {
+            threads: t,
+            result: pipeline::run_pipeline(data, platform, t, options),
+        })
+        .collect()
+}
+
+/// Run an MSA-only thread sweep.
+pub fn msa_thread_sweep(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: &[usize],
+    options: &MsaPhaseOptions,
+) -> Vec<(usize, MsaPhaseResult)> {
+    threads
+        .iter()
+        .map(|&t| (t, msa_phase::run_msa_phase(data, platform, t, options)))
+        .collect()
+}
+
+/// Speedup curve relative to the single-thread point.
+///
+/// # Panics
+///
+/// Panics if the sweep does not include a 1-thread point.
+pub fn speedup_curve(sweep: &[(usize, MsaPhaseResult)]) -> Vec<(usize, f64)> {
+    let base = sweep
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map(|(_, r)| r.wall_seconds())
+        .expect("sweep must include 1 thread");
+    sweep
+        .iter()
+        .map(|(t, r)| (*t, base / r.wall_seconds()))
+        .collect()
+}
+
+/// The simulated-optimal MSA thread count for an input on a platform —
+/// the paper's "adaptive thread allocation" recommendation.
+pub fn recommend_threads(
+    data: &SampleSearchData,
+    platform: Platform,
+    options: &MsaPhaseOptions,
+) -> usize {
+    let sweep = msa_thread_sweep(data, platform, &MSA_THREAD_SWEEP, options);
+    sweep
+        .iter()
+        .filter(|(_, r)| r.completed())
+        .min_by(|a, b| {
+            a.1.wall_seconds()
+                .partial_cmp(&b.1.wall_seconds())
+                .expect("wall seconds are finite for completed runs")
+        })
+        .map(|(t, _)| *t)
+        .unwrap_or(1)
+}
+
+/// Coefficient of variation over repeated runs with different seeds
+/// (the paper reports CV ≤ 5 % for MSA, ≤ 1 % for inference).
+pub fn msa_repeat_cv(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    options: &MsaPhaseOptions,
+    repeats: usize,
+) -> f64 {
+    assert!(repeats >= 2, "need at least two repeats for a CV");
+    let times: Vec<f64> = (0..repeats)
+        .map(|i| {
+            let o = MsaPhaseOptions {
+                seed: options.seed.wrapping_add(i as u64 * 7919),
+                ..*options
+            };
+            msa_phase::run_msa_phase(data, platform, threads, &o).wall_seconds()
+        })
+        .collect();
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
+        / (times.len() - 1) as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{BenchContext, ContextConfig};
+    use afsb_seq::samples::SampleId;
+    use std::sync::Arc;
+
+    fn data(id: SampleId) -> Arc<SampleSearchData> {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        ctx.sample_data(id)
+    }
+
+    fn options() -> MsaPhaseOptions {
+        MsaPhaseOptions {
+            sample_cap: 100_000,
+            ..MsaPhaseOptions::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_requested_points() {
+        let d = data(SampleId::S7rce);
+        let sweep = msa_thread_sweep(&d, Platform::Server, &[1, 2, 4], &options());
+        assert_eq!(sweep.len(), 3);
+        let speedups = speedup_curve(&sweep);
+        assert_eq!(speedups[0], (1, 1.0));
+        assert!(speedups[1].1 > 1.2, "2T should speed up: {:?}", speedups);
+    }
+
+    #[test]
+    fn speedup_below_linear() {
+        let d = data(SampleId::S1yy9);
+        let sweep = msa_thread_sweep(&d, Platform::Server, &[1, 4, 8], &options());
+        for (t, s) in speedup_curve(&sweep) {
+            assert!(
+                s <= t as f64 * 1.05,
+                "speedup {s:.2} cannot exceed thread count {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn recommendation_within_sweep_and_sensible() {
+        let d = data(SampleId::S1yy9);
+        let rec = recommend_threads(&d, Platform::Server, &options());
+        assert!(MSA_THREAD_SWEEP.contains(&rec));
+        assert!(rec >= 2, "larger samples should want parallelism, got {rec}");
+    }
+
+    #[test]
+    fn repeat_cv_is_small() {
+        let d = data(SampleId::S7rce);
+        let cv = msa_repeat_cv(&d, Platform::Server, 2, &options(), 3);
+        assert!(cv < 0.05, "CV {cv} must be within the paper's 5 %");
+    }
+}

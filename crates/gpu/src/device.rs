@@ -1,0 +1,112 @@
+//! GPU device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU device model for roofline pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak dense bf16/fp16 tensor throughput (TFLOP/s).
+    pub peak_tflops: f64,
+    /// Device memory capacity (GiB).
+    pub memory_gib: f64,
+    /// Device memory bandwidth (GiB/s).
+    pub mem_bw_gibs: f64,
+    /// Host↔device interconnect bandwidth (GiB/s).
+    pub pcie_gibs: f64,
+    /// Per-kernel launch overhead (microseconds) paid on the single host
+    /// dispatch thread.
+    pub launch_overhead_us: f64,
+    /// Fraction of peak compute that AF3-style kernels achieve. AF3's
+    /// small, bias-heavy attention kernels run very far from peak;
+    /// calibrated so 2PV7-scale inference compute lands at Fig. 8's
+    /// magnitudes (~71 s on the RTX 4080, ~14 s on the H100).
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by memory-bound kernels.
+    pub bandwidth_efficiency: f64,
+    /// Divisor applied to interconnect bandwidth for unified-memory
+    /// traffic (page-fault handling and duplicate migrations).
+    pub uvm_penalty: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA H100 SXM 80 GB (the paper's Server GPU).
+    pub fn h100() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA H100 80GB",
+            peak_tflops: 989.0,
+            memory_gib: 80.0,
+            mem_bw_gibs: 3350.0,
+            pcie_gibs: 55.0,
+            launch_overhead_us: 6.0,
+            compute_efficiency: 0.0045,
+            bandwidth_efficiency: 0.55,
+            uvm_penalty: 2.5,
+        }
+    }
+
+    /// NVIDIA RTX 4080 16 GB (the paper's Desktop GPU).
+    pub fn rtx4080() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA RTX 4080 16GB",
+            peak_tflops: 195.0,
+            memory_gib: 16.0,
+            mem_bw_gibs: 717.0,
+            pcie_gibs: 26.0,
+            launch_overhead_us: 4.0,
+            compute_efficiency: 0.0045,
+            bandwidth_efficiency: 0.60,
+            uvm_penalty: 3.0,
+        }
+    }
+
+    /// Achievable compute throughput (FLOP/s).
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_tflops * 1e12 * self.compute_efficiency
+    }
+
+    /// Achievable memory bandwidth (bytes/s).
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.mem_bw_gibs * (1u64 << 30) as f64 * self.bandwidth_efficiency
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gib * (1u64 << 30) as f64) as u64
+    }
+
+    /// Seconds to move `bytes` across the host interconnect.
+    pub fn pcie_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.pcie_gibs * (1u64 << 30) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_outclasses_rtx4080() {
+        let h = GpuSpec::h100();
+        let r = GpuSpec::rtx4080();
+        assert!(h.effective_flops() > 3.0 * r.effective_flops());
+        assert!(h.effective_bandwidth() > 3.0 * r.effective_bandwidth());
+        assert!(h.memory_gib > r.memory_gib * 4.0);
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let h = GpuSpec::h100();
+        let t = h.pcie_seconds(55 * (1 << 30));
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiencies_bounded() {
+        for d in [GpuSpec::h100(), GpuSpec::rtx4080()] {
+            assert!(d.compute_efficiency > 0.0 && d.compute_efficiency < 1.0);
+            assert!(d.bandwidth_efficiency > 0.0 && d.bandwidth_efficiency <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Roofline pricing of kernel cost logs.
+
+use crate::device::GpuSpec;
+use afsb_tensor::cost::{CostLog, KernelCost};
+use std::collections::BTreeMap;
+
+/// Priced execution time of one kernel record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTime {
+    /// Compute-limited seconds.
+    pub compute_s: f64,
+    /// Bandwidth-limited seconds.
+    pub memory_s: f64,
+    /// Launch overhead seconds.
+    pub launch_s: f64,
+}
+
+impl KernelTime {
+    /// Total roofline time: the binding resource plus launch overhead.
+    pub fn total(&self) -> f64 {
+        self.compute_s.max(self.memory_s) + self.launch_s
+    }
+
+    /// Whether the kernel is memory-bound.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// Price a single kernel record on a device.
+///
+/// `uvm_fraction` is the fraction of the kernel's bytes served through the
+/// unified-memory path (0 for fully-resident working sets).
+pub fn price_kernel(cost: &KernelCost, device: &GpuSpec, uvm_fraction: f64) -> KernelTime {
+    let compute_s = cost.flops / device.effective_flops();
+    let bw = device.effective_bandwidth();
+    let resident = cost.bytes * (1.0 - uvm_fraction);
+    let spilled = cost.bytes * uvm_fraction;
+    // Spilled bytes migrate over the host interconnect; `uvm_penalty`
+    // divides its bandwidth (fault handling + duplicate transfers).
+    let uvm_bps = device.pcie_gibs * (1u64 << 30) as f64 / device.uvm_penalty;
+    let memory_s = resident / bw + spilled / uvm_bps;
+    let launch_s = cost.launches as f64 * device.launch_overhead_us * 1e-6;
+    KernelTime {
+        compute_s,
+        memory_s,
+        launch_s,
+    }
+}
+
+/// Price a whole cost log; returns per-label seconds and the total.
+pub fn price_log(
+    log: &CostLog,
+    device: &GpuSpec,
+    uvm_fraction: f64,
+) -> (BTreeMap<String, f64>, f64) {
+    let mut per_label: BTreeMap<String, f64> = BTreeMap::new();
+    let mut total = 0.0;
+    for entry in log.entries() {
+        let t = price_kernel(entry, device, uvm_fraction).total();
+        *per_label.entry(entry.label.clone()).or_insert(0.0) += t;
+        total += t;
+    }
+    (per_label, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(flops: f64, bytes: f64, launches: u64) -> KernelCost {
+        KernelCost {
+            label: "k".into(),
+            flops,
+            bytes,
+            launches,
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let d = GpuSpec::h100();
+        // Huge flops, tiny bytes.
+        let t = price_kernel(&cost(1e15, 1e6, 1), &d, 0.0);
+        assert!(!t.memory_bound());
+        assert!((t.total() - 1e15 / d.effective_flops() - 6e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let d = GpuSpec::h100();
+        let t = price_kernel(&cost(1e9, 1e12, 1), &d, 0.0);
+        assert!(t.memory_bound());
+    }
+
+    #[test]
+    fn uvm_spill_slows_kernel() {
+        let d = GpuSpec::rtx4080();
+        let resident = price_kernel(&cost(1e9, 1e11, 1), &d, 0.0);
+        let spilled = price_kernel(&cost(1e9, 1e11, 1), &d, 0.5);
+        assert!(spilled.total() > resident.total() * 3.0);
+    }
+
+    #[test]
+    fn h100_faster_than_4080() {
+        let c = cost(1e13, 1e10, 100);
+        let th = price_kernel(&c, &GpuSpec::h100(), 0.0).total();
+        let tr = price_kernel(&c, &GpuSpec::rtx4080(), 0.0).total();
+        assert!(th < tr, "H100 {th} vs 4080 {tr}");
+    }
+
+    #[test]
+    fn price_log_aggregates_by_label() {
+        let mut log = CostLog::new();
+        log.record("a", 1e12, 1e9, 10);
+        log.record("b", 2e12, 1e9, 10);
+        log.record("a", 1e12, 1e9, 10);
+        let (per, total) = price_log(&log, &GpuSpec::h100(), 0.0);
+        assert_eq!(per.len(), 2);
+        assert!(per["b"] > 0.0 && per["a"] > per["b"] * 0.9);
+        assert!((per.values().sum::<f64>() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let d = GpuSpec::h100();
+        let t = price_kernel(&cost(1e3, 1e3, 10_000), &d, 0.0);
+        assert!(t.launch_s > 0.9 * t.total());
+    }
+}

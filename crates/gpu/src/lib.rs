@@ -1,0 +1,30 @@
+//! GPU execution model: device rooflines, XLA-style compilation, runtime
+//! lifecycle.
+//!
+//! The paper's inference-phase findings (Figs. 6 & 8, Table V) are about
+//! the *system around* the GPU as much as the GPU itself: JAX/XLA
+//! compilation and buffer allocation dominate short runs on the Server,
+//! kernel dispatch is single-threaded (flat thread scaling), and the
+//! RTX 4080 must spill 6QNR into unified memory. This crate models those
+//! mechanisms:
+//!
+//! - [`device`]: H100 / RTX 4080 specs and achievable-throughput deratings,
+//! - [`kernel`]: a roofline pricer for [`afsb_tensor::CostLog`] records,
+//! - [`xla`]: graph build → fusion → buffer assignment (`ByteSizeOf`
+//!   calls, arena growth, first-touch page faults) and a CPU-clock-scaled
+//!   compile-time model,
+//! - [`runtime`]: init (driver + weights upload), single-host-thread
+//!   dispatch, unified-memory oversubscription, finalize, and the
+//!   persistent-session optimization from §VI, and
+//! - [`timeline`]: an Nsight-Systems-like span recorder behind Fig. 8.
+
+pub mod device;
+pub mod kernel;
+pub mod runtime;
+pub mod timeline;
+pub mod xla;
+
+pub use device::GpuSpec;
+pub use kernel::price_log;
+pub use runtime::{GpuRuntime, InferenceBreakdown};
+pub use timeline::Timeline;

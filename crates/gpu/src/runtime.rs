@@ -1,0 +1,313 @@
+//! GPU runtime lifecycle: init → compile → compute → finalize.
+//!
+//! Models the CPU-side phases around kernel execution that Fig. 8 breaks
+//! down, including the Docker-era cold start the paper's §VI discusses,
+//! plus the proposed persistent-session optimization.
+
+use crate::device::GpuSpec;
+use crate::kernel::price_log;
+use crate::timeline::Timeline;
+use crate::xla::{self, CompileCostModel, CompileReport, XlaGraph};
+use afsb_tensor::cost::CostLog;
+use std::collections::BTreeMap;
+
+/// Host CPU characteristics relevant to the (single-threaded) runtime
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCpuModel {
+    /// Relative single-core throughput (desktop Ryzen boost = 1.0).
+    pub single_core_score: f64,
+}
+
+/// Fixed cost constants of the runtime lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeCostModel {
+    /// Driver/context/framework import time at score 1.0 (seconds).
+    pub init_base_s: f64,
+    /// Model-weights bytes loaded from disk and uploaded.
+    pub weights_bytes: u64,
+    /// Disk read bandwidth for weights (bytes/s).
+    pub weights_disk_bps: f64,
+    /// Output writeback + teardown at score 1.0 (seconds).
+    pub finalize_base_s: f64,
+}
+
+impl Default for RuntimeCostModel {
+    fn default() -> RuntimeCostModel {
+        RuntimeCostModel {
+            init_base_s: 7.5,
+            weights_bytes: 1 << 30,
+            weights_disk_bps: 1.2e9,
+            finalize_base_s: 3.5,
+        }
+    }
+}
+
+/// Wall-time breakdown of one inference request (Fig. 8's categories).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceBreakdown {
+    /// CPU-side initialization (driver, imports, weights load + upload).
+    pub init_s: f64,
+    /// XLA compilation.
+    pub xla_compile_s: f64,
+    /// GPU kernel execution.
+    pub gpu_compute_s: f64,
+    /// Finalization (output writeback, teardown).
+    pub finalize_s: f64,
+    /// Per-kernel-label GPU seconds.
+    pub per_label_s: BTreeMap<String, f64>,
+    /// Fraction of bytes served via unified memory (0 = fully resident).
+    pub uvm_fraction: f64,
+    /// The compile report (page faults etc. feed Table V).
+    pub compile_report: CompileReport,
+    /// The Nsight-style timeline.
+    pub timeline: Timeline,
+}
+
+impl InferenceBreakdown {
+    /// Total wall seconds.
+    pub fn total_s(&self) -> f64 {
+        self.init_s + self.xla_compile_s + self.gpu_compute_s + self.finalize_s
+    }
+
+    /// Share of time not spent computing (the paper's Server pathology).
+    pub fn overhead_share(&self) -> f64 {
+        1.0 - self.gpu_compute_s / self.total_s().max(1e-12)
+    }
+}
+
+/// The GPU runtime for one device + host pairing.
+#[derive(Debug, Clone)]
+pub struct GpuRuntime {
+    device: GpuSpec,
+    host: HostCpuModel,
+    costs: RuntimeCostModel,
+    compile_costs: CompileCostModel,
+}
+
+impl GpuRuntime {
+    /// Create a runtime.
+    pub fn new(device: GpuSpec, host: HostCpuModel) -> GpuRuntime {
+        GpuRuntime {
+            device,
+            host,
+            costs: RuntimeCostModel::default(),
+            compile_costs: CompileCostModel::default(),
+        }
+    }
+
+    /// Override the fixed-cost model.
+    pub fn with_costs(mut self, costs: RuntimeCostModel) -> GpuRuntime {
+        self.costs = costs;
+        self
+    }
+
+    /// The device.
+    pub fn device(&self) -> &GpuSpec {
+        &self.device
+    }
+
+    /// Fraction of the working set spilled to unified memory for a given
+    /// peak activation footprint.
+    pub fn uvm_fraction(&self, working_set_bytes: u64) -> f64 {
+        let capacity = self.device.memory_bytes();
+        if working_set_bytes <= capacity {
+            0.0
+        } else {
+            1.0 - capacity as f64 / working_set_bytes as f64
+        }
+    }
+
+    /// Execute one cold inference request.
+    ///
+    /// `cost_log` carries the model's paper-scale kernel costs;
+    /// `working_set_bytes` its peak device-memory footprint. Kernel
+    /// dispatch is priced on a single host thread, so thread count does
+    /// not appear: that is Fig. 6's flat scaling.
+    pub fn run_cold(&self, cost_log: &CostLog, working_set_bytes: u64) -> InferenceBreakdown {
+        let score = self.host.single_core_score;
+        let init_s = self.costs.init_base_s / score
+            + self.costs.weights_bytes as f64 / self.costs.weights_disk_bps
+            + self.device.pcie_seconds(self.costs.weights_bytes);
+
+        let graph = XlaGraph::from_cost_log(cost_log);
+        let report = xla::compile(&graph);
+        let xla_compile_s = xla::compile_seconds(&report, &self.compile_costs, score);
+
+        let uvm = self.uvm_fraction(working_set_bytes);
+        let (per_label_s, gpu_compute_s) = price_log(cost_log, &self.device, uvm);
+        let finalize_s = self.costs.finalize_base_s / score;
+
+        let mut timeline = Timeline::new();
+        timeline.push("init", init_s);
+        timeline.push("xla_compile", xla_compile_s);
+        timeline.push("gpu_compute", gpu_compute_s);
+        timeline.push("finalize", finalize_s);
+
+        InferenceBreakdown {
+            init_s,
+            xla_compile_s,
+            gpu_compute_s,
+            finalize_s,
+            per_label_s,
+            uvm_fraction: uvm,
+            compile_report: report,
+            timeline,
+        }
+    }
+
+    /// Execute a warm request against a persistent session (§VI): init and
+    /// compilation are already amortized, only a small dispatch setup
+    /// remains.
+    pub fn run_warm(&self, cost_log: &CostLog, working_set_bytes: u64) -> InferenceBreakdown {
+        let cold = self.run_cold(cost_log, working_set_bytes);
+        let score = self.host.single_core_score;
+        let init_s = 0.15 / score; // request setup only
+        let finalize_s = 0.4 / score; // output writeback only
+        let mut timeline = Timeline::new();
+        timeline.push("init", init_s);
+        timeline.push("xla_compile", 0.0);
+        timeline.push("gpu_compute", cold.gpu_compute_s);
+        timeline.push("finalize", finalize_s);
+        InferenceBreakdown {
+            init_s,
+            xla_compile_s: 0.0,
+            gpu_compute_s: cold.gpu_compute_s,
+            finalize_s,
+            per_label_s: cold.per_label_s,
+            uvm_fraction: cold.uvm_fraction,
+            compile_report: cold.compile_report,
+            timeline,
+        }
+    }
+}
+
+/// A persistent model session (§VI "maintaining persistent model state"):
+/// pays the cold cost once, then serves warm requests.
+#[derive(Debug, Clone)]
+pub struct PersistentSession {
+    runtime: GpuRuntime,
+    warmed: bool,
+}
+
+impl PersistentSession {
+    /// Create an un-warmed session.
+    pub fn new(runtime: GpuRuntime) -> PersistentSession {
+        PersistentSession {
+            runtime,
+            warmed: false,
+        }
+    }
+
+    /// Whether the session has served a request.
+    pub fn is_warm(&self) -> bool {
+        self.warmed
+    }
+
+    /// Serve a request: cold the first time, warm afterwards.
+    pub fn request(&mut self, cost_log: &CostLog, working_set_bytes: u64) -> InferenceBreakdown {
+        if self.warmed {
+            self.runtime.run_warm(cost_log, working_set_bytes)
+        } else {
+            self.warmed = true;
+            self.runtime.run_cold(cost_log, working_set_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_log() -> CostLog {
+        // Roughly 2PV7-shaped totals (~5e13 FLOPs).
+        let mut log = CostLog::new();
+        for _ in 0..48 {
+            log.record("pairformer/triangle_attention", 6e11, 6e9, 4);
+            log.record("pair_transition", 1e11, 4e9, 2);
+        }
+        for _ in 0..16 {
+            log.record("diffusion/global_attention", 8e11, 8e9, 2);
+        }
+        log
+    }
+
+    fn server_runtime() -> GpuRuntime {
+        GpuRuntime::new(
+            GpuSpec::h100(),
+            HostCpuModel {
+                single_core_score: 0.4,
+            },
+        )
+    }
+
+    fn desktop_runtime() -> GpuRuntime {
+        GpuRuntime::new(
+            GpuSpec::rtx4080(),
+            HostCpuModel {
+                single_core_score: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn server_overhead_dominates_small_inputs() {
+        let b = server_runtime().run_cold(&small_log(), 8 << 30);
+        assert!(
+            b.overhead_share() > 0.6,
+            "server overhead share {} should dominate",
+            b.overhead_share()
+        );
+    }
+
+    #[test]
+    fn desktop_compute_dominates() {
+        let b = desktop_runtime().run_cold(&small_log(), 8 << 30);
+        assert!(
+            b.gpu_compute_s > b.xla_compile_s,
+            "desktop compute {} should exceed compile {}",
+            b.gpu_compute_s,
+            b.xla_compile_s
+        );
+        // And the desktop's CPU-side overheads are smaller than the
+        // server's in absolute terms.
+        let s = server_runtime().run_cold(&small_log(), 8 << 30);
+        assert!(b.init_s < s.init_s);
+        assert!(b.xla_compile_s < s.xla_compile_s);
+    }
+
+    #[test]
+    fn uvm_kicks_in_beyond_capacity() {
+        let rt = desktop_runtime();
+        assert_eq!(rt.uvm_fraction(8 << 30), 0.0);
+        let f = rt.uvm_fraction(32 << 30);
+        assert!(f > 0.4 && f < 0.6, "uvm fraction {f}");
+        // Spilling slows compute for bandwidth-heavy kernels.
+        let mut heavy = CostLog::new();
+        for _ in 0..16 {
+            heavy.record("diffusion/global_attention", 1e10, 2e10, 2);
+        }
+        let resident = rt.run_cold(&heavy, 8 << 30);
+        let spilled = rt.run_cold(&heavy, 32 << 30);
+        assert!(spilled.gpu_compute_s > resident.gpu_compute_s * 1.5);
+    }
+
+    #[test]
+    fn warm_requests_skip_init_and_compile() {
+        let mut session = PersistentSession::new(server_runtime());
+        let cold = session.request(&small_log(), 8 << 30);
+        assert!(session.is_warm());
+        let warm = session.request(&small_log(), 8 << 30);
+        assert_eq!(warm.xla_compile_s, 0.0);
+        assert!(warm.init_s < cold.init_s / 10.0);
+        assert!((warm.gpu_compute_s - cold.gpu_compute_s).abs() < 1e-9);
+        assert!(warm.total_s() < cold.total_s() * 0.5);
+    }
+
+    #[test]
+    fn timeline_matches_breakdown() {
+        let b = desktop_runtime().run_cold(&small_log(), 8 << 30);
+        assert!((b.timeline.total_seconds() - b.total_s()).abs() < 1e-9);
+        assert_eq!(b.timeline.seconds_of("gpu_compute"), b.gpu_compute_s);
+    }
+}

@@ -1,0 +1,135 @@
+//! Nsight-Systems-style span timeline.
+
+use std::fmt;
+
+/// One named span on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase name (e.g. `xla_compile`).
+    pub name: String,
+    /// Start offset in seconds.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+}
+
+/// An append-only sequential timeline (spans do not overlap; the host
+/// dispatch path is single-threaded, which is exactly the paper's
+/// finding).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Append a span after the current end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is negative.
+    pub fn push(&mut self, name: impl Into<String>, duration_s: f64) {
+        assert!(duration_s >= 0.0, "span duration must be non-negative");
+        let start_s = self.total_seconds();
+        self.spans.push(Span {
+            name: name.into(),
+            start_s,
+            duration_s,
+        });
+    }
+
+    /// All spans in order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// End time of the last span.
+    pub fn total_seconds(&self) -> f64 {
+        self.spans
+            .last()
+            .map(|s| s.start_s + s.duration_s)
+            .unwrap_or(0.0)
+    }
+
+    /// Duration of the span with `name` (summed over repeats).
+    pub fn seconds_of(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_s)
+            .sum()
+    }
+
+    /// Share of total time spent in `name`, in `[0, 1]`.
+    pub fn share_of(&self, name: &str) -> f64 {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.seconds_of(name) / total
+        }
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_seconds().max(1e-12);
+        for s in &self.spans {
+            let pct = s.duration_s / total * 100.0;
+            let bar = "#".repeat((pct / 2.5).round() as usize);
+            writeln!(
+                f,
+                "{:<18} {:>8.2}s {:>5.1}% |{bar}",
+                s.name, s.duration_s, pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_sequential() {
+        let mut t = Timeline::new();
+        t.push("init", 2.0);
+        t.push("compile", 3.0);
+        t.push("compute", 5.0);
+        assert_eq!(t.total_seconds(), 10.0);
+        assert_eq!(t.spans()[1].start_s, 2.0);
+        assert_eq!(t.spans()[2].start_s, 5.0);
+    }
+
+    #[test]
+    fn shares_and_lookups() {
+        let mut t = Timeline::new();
+        t.push("a", 1.0);
+        t.push("b", 3.0);
+        t.push("a", 1.0);
+        assert_eq!(t.seconds_of("a"), 2.0);
+        assert!((t.share_of("b") - 0.6).abs() < 1e-12);
+        assert_eq!(t.seconds_of("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new();
+        assert_eq!(t.total_seconds(), 0.0);
+        assert_eq!(t.share_of("x"), 0.0);
+    }
+
+    #[test]
+    fn display_contains_bars() {
+        let mut t = Timeline::new();
+        t.push("gpu_compute", 7.0);
+        let s = t.to_string();
+        assert!(s.contains("gpu_compute"));
+        assert!(s.contains('|'));
+    }
+}

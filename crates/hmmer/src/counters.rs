@@ -1,0 +1,151 @@
+//! Work counters reported by every search kernel.
+//!
+//! These are *exact counts of executed work*, not estimates: the DP kernels
+//! increment cell counters as they compute, the I/O model counts buffered
+//! bytes, and the pipeline counts per-stage survivors. `afsb-core` maps
+//! them onto the paper's profiled symbols:
+//!
+//! | Counter                | Paper symbol (Table IV)      |
+//! |------------------------|------------------------------|
+//! | `band_cells_mi`        | `calc_band_9`                |
+//! | `band_cells_ds`        | `calc_band_10`               |
+//! | `buffer_fills`         | `addbuf`                     |
+//! | `buffer_peeks`         | `seebuf`                     |
+//! | `copied_bytes`         | `copy_to_iter`               |
+
+/// Aggregated work counts for one search (or one worker's share of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Database sequences scanned.
+    pub db_sequences: u64,
+    /// Database residues scanned.
+    pub db_residues: u64,
+    /// SSV diagonal cells evaluated.
+    pub ssv_cells: u64,
+    /// MSV cells evaluated (multi-hit rescoring of SSV survivors).
+    pub msv_cells: u64,
+    /// Banded Viterbi main-state (M/I) cells — the `calc_band_9` analogue.
+    pub band_cells_mi: u64,
+    /// Banded Viterbi delete/special cells — the `calc_band_10` analogue.
+    pub band_cells_ds: u64,
+    /// Full Forward cells evaluated on Viterbi survivors.
+    pub forward_cells: u64,
+    /// Traceback cells walked for reported hits.
+    pub traceback_cells: u64,
+    /// Sequences surviving the SSV stage.
+    pub ssv_survivors: u64,
+    /// Sequences surviving the MSV stage.
+    pub msv_survivors: u64,
+    /// Sequences surviving the Viterbi filter.
+    pub viterbi_survivors: u64,
+    /// Final reported hits.
+    pub hits: u64,
+    /// Candidate windows rescanned due to ambiguous partial matches
+    /// (inflated by low-complexity queries — the `promo` effect).
+    pub rescans: u64,
+    /// Bytes re-read during rescans.
+    pub rescan_bytes: u64,
+    /// Buffer refill operations (`addbuf`).
+    pub buffer_fills: u64,
+    /// Buffer lookahead operations (`seebuf`).
+    pub buffer_peeks: u64,
+    /// Bytes copied from the (simulated) kernel page cache into user
+    /// buffers (`copy_to_iter`).
+    pub copied_bytes: u64,
+    /// Peak resident bytes of search state (DP matrices + candidates).
+    pub peak_state_bytes: u64,
+}
+
+impl WorkCounters {
+    /// Merge another counter block into this one (peaks take the max).
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.db_sequences += other.db_sequences;
+        self.db_residues += other.db_residues;
+        self.ssv_cells += other.ssv_cells;
+        self.msv_cells += other.msv_cells;
+        self.band_cells_mi += other.band_cells_mi;
+        self.band_cells_ds += other.band_cells_ds;
+        self.forward_cells += other.forward_cells;
+        self.traceback_cells += other.traceback_cells;
+        self.ssv_survivors += other.ssv_survivors;
+        self.msv_survivors += other.msv_survivors;
+        self.viterbi_survivors += other.viterbi_survivors;
+        self.hits += other.hits;
+        self.rescans += other.rescans;
+        self.rescan_bytes += other.rescan_bytes;
+        self.buffer_fills += other.buffer_fills;
+        self.buffer_peeks += other.buffer_peeks;
+        self.copied_bytes += other.copied_bytes;
+        self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);
+    }
+
+    /// Merge peaks additively instead (concurrent workers hold their DP
+    /// state simultaneously).
+    pub fn merge_concurrent(&mut self, other: &WorkCounters) {
+        let combined_peak = self.peak_state_bytes + other.peak_state_bytes;
+        self.merge(other);
+        self.peak_state_bytes = combined_peak;
+    }
+
+    /// Total DP cells across every stage (a coarse "compute volume").
+    pub fn total_dp_cells(&self) -> u64 {
+        self.ssv_cells
+            + self.msv_cells
+            + self.band_cells_mi
+            + self.band_cells_ds
+            + self.forward_cells
+            + self.traceback_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = WorkCounters {
+            db_sequences: 10,
+            band_cells_mi: 100,
+            peak_state_bytes: 500,
+            ..WorkCounters::default()
+        };
+        let b = WorkCounters {
+            db_sequences: 5,
+            band_cells_mi: 50,
+            peak_state_bytes: 900,
+            ..WorkCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.db_sequences, 15);
+        assert_eq!(a.band_cells_mi, 150);
+        assert_eq!(a.peak_state_bytes, 900);
+    }
+
+    #[test]
+    fn concurrent_merge_adds_peaks() {
+        let mut a = WorkCounters {
+            peak_state_bytes: 500,
+            ..WorkCounters::default()
+        };
+        a.merge_concurrent(&WorkCounters {
+            peak_state_bytes: 900,
+            ..WorkCounters::default()
+        });
+        assert_eq!(a.peak_state_bytes, 1400);
+    }
+
+    #[test]
+    fn total_dp_cells_sums_stages() {
+        let c = WorkCounters {
+            ssv_cells: 1,
+            msv_cells: 2,
+            band_cells_mi: 3,
+            band_cells_ds: 4,
+            forward_cells: 5,
+            traceback_cells: 6,
+            ..WorkCounters::default()
+        };
+        assert_eq!(c.total_dp_cells(), 21);
+    }
+}

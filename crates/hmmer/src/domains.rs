@@ -1,0 +1,148 @@
+//! Domain envelope detection.
+//!
+//! HMMER reports *domains*: distinct aligned regions of one target that
+//! each match the profile. A hit's optimal path can weave through several
+//! such regions separated by long unaligned stretches; splitting them
+//! produces the per-domain records that downstream MSA construction and
+//! E-value reporting use.
+
+use crate::hits::Alignment;
+
+/// One detected domain envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Inclusive query-column span.
+    pub query_span: (u32, u32),
+    /// Inclusive target-position span.
+    pub target_span: (u32, u32),
+    /// Aligned (match-state) positions inside the envelope.
+    pub matches: usize,
+}
+
+impl Domain {
+    /// Aligned-column density within the envelope (1.0 = gapless).
+    pub fn density(&self) -> f64 {
+        let span = (self.query_span.1 - self.query_span.0 + 1) as f64;
+        self.matches as f64 / span
+    }
+}
+
+/// Split an alignment into domain envelopes: a new domain starts whenever
+/// consecutive aligned pairs jump more than `max_gap` in either
+/// coordinate.
+///
+/// Returns an empty vector for an empty alignment.
+///
+/// # Panics
+///
+/// Panics if `max_gap == 0`.
+pub fn split_domains(alignment: &Alignment, max_gap: u32) -> Vec<Domain> {
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut domains = Vec::new();
+    let mut start: Option<usize> = None;
+
+    let flush = |start: usize, end: usize, pairs: &[(u32, u32)], out: &mut Vec<Domain>| {
+        let slice = &pairs[start..=end];
+        let (q0, t0) = slice[0];
+        let (q1, t1) = slice[slice.len() - 1];
+        out.push(Domain {
+            query_span: (q0, q1),
+            target_span: (t0, t1),
+            matches: slice.len(),
+        });
+    };
+
+    for i in 0..alignment.pairs.len() {
+        match start {
+            None => start = Some(i),
+            Some(s) => {
+                let (pq, pt) = alignment.pairs[i - 1];
+                let (q, t) = alignment.pairs[i];
+                if q - pq > max_gap || t - pt > max_gap {
+                    flush(s, i - 1, &alignment.pairs, &mut domains);
+                    start = Some(i);
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        flush(s, alignment.pairs.len() - 1, &alignment.pairs, &mut domains);
+    }
+    domains
+}
+
+/// Keep only domains with at least `min_matches` aligned columns
+/// (filters spurious fragments from low-complexity partial matches).
+pub fn significant_domains(domains: Vec<Domain>, min_matches: usize) -> Vec<Domain> {
+    domains
+        .into_iter()
+        .filter(|d| d.matches >= min_matches)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alignment(pairs: Vec<(u32, u32)>) -> Alignment {
+        Alignment {
+            pairs,
+            query_len: 200,
+            target_len: 400,
+        }
+    }
+
+    #[test]
+    fn contiguous_alignment_is_one_domain() {
+        let a = alignment((0..30).map(|i| (i, i + 5)).collect());
+        let d = split_domains(&a, 10);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].query_span, (0, 29));
+        assert_eq!(d[0].target_span, (5, 34));
+        assert_eq!(d[0].matches, 30);
+        assert!((d[0].density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_gap_splits_domains() {
+        let mut pairs: Vec<(u32, u32)> = (0..10).map(|i| (i, i)).collect();
+        pairs.extend((0..10).map(|i| (100 + i, 150 + i)));
+        let d = split_domains(&alignment(pairs), 20);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].query_span, (0, 9));
+        assert_eq!(d[1].query_span, (100, 109));
+        assert_eq!(d[1].target_span, (150, 159));
+    }
+
+    #[test]
+    fn target_gap_also_splits() {
+        let mut pairs: Vec<(u32, u32)> = (0..10).map(|i| (i, i)).collect();
+        pairs.extend((10..20).map(|i| (i, 200 + i)));
+        let d = split_domains(&alignment(pairs), 20);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_alignment_no_domains() {
+        assert!(split_domains(&alignment(vec![]), 10).is_empty());
+    }
+
+    #[test]
+    fn significance_filter() {
+        let mut pairs: Vec<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        pairs.extend((0..25).map(|i| (100 + i, 100 + i)));
+        let d = split_domains(&alignment(pairs), 20);
+        assert_eq!(d.len(), 2);
+        let sig = significant_domains(d, 10);
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig[0].matches, 25);
+    }
+
+    #[test]
+    fn gapped_domain_density_below_one() {
+        let pairs: Vec<(u32, u32)> = (0..20).map(|i| (i * 2, i * 2)).collect();
+        let d = split_domains(&alignment(pairs), 5);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].density() < 0.6);
+    }
+}

@@ -1,0 +1,210 @@
+//! Full (unbanded) Viterbi and Forward dynamic programming.
+//!
+//! These are the reference implementations: exact local-alignment DP over
+//! the complete `K × L` matrix. The production pipeline runs the banded
+//! variants ([`crate::banded`]) on filter survivors; the full versions are
+//! used for calibration, for correctness cross-checks in tests (banded
+//! score ≤ full score; Viterbi ≤ Forward), and for final rescoring.
+
+use crate::counters::WorkCounters;
+use crate::profile::ProfileHmm;
+
+const NEG_INF: f32 = -1.0e30;
+
+/// log₂(2^a + 2^b) with guards for −∞.
+#[inline]
+pub fn log2_sum_exp(a: f32, b: f32) -> f32 {
+    if a <= NEG_INF / 2.0 {
+        return b;
+    }
+    if b <= NEG_INF / 2.0 {
+        return a;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (1.0 + (lo - hi).exp2()).log2()
+}
+
+/// Exact local Viterbi score (bits) of `target` against `profile`.
+///
+/// Costs `K × L` cells, accounted in `counters.band_cells_mi` /
+/// `band_cells_ds` (the full DP exercises the same kernels as the banded
+/// one, just with an all-covering band).
+pub fn viterbi_score(profile: &ProfileHmm, target: &[u8], counters: &mut WorkCounters) -> f32 {
+    let k = profile.len();
+    let l = target.len();
+    if l == 0 {
+        return NEG_INF;
+    }
+    let t = *profile.transitions();
+    let entry = profile.entry();
+    counters.band_cells_mi += (k as u64) * (l as u64);
+    counters.band_cells_ds += (k as u64) * (l as u64);
+
+    // Row-major over target positions; columns are profile states.
+    let mut m_prev = vec![NEG_INF; k];
+    let mut i_prev = vec![NEG_INF; k];
+    let mut best = NEG_INF;
+
+    for &x in target {
+        let mut m_cur = vec![NEG_INF; k];
+        let mut i_cur = vec![NEG_INF; k];
+        let mut d_cur = vec![NEG_INF; k];
+        for q in 0..k {
+            let e = profile.match_score(q, x);
+            // Delete chain within the current row (computed before M uses
+            // the *previous* row, so D recursion is along q).
+            if q > 0 {
+                d_cur[q] = (m_cur[q - 1] + t.md).max(d_cur[q - 1] + t.dd);
+            }
+            let from_prev = if q > 0 {
+                let mut v = m_prev[q - 1] + t.mm;
+                v = v.max(i_prev[q - 1] + t.im);
+                // D from previous row at q-1: approximated by the current
+                // row's delete chain (standard plan7 uses D[i-1][q-1]; the
+                // difference is ≤ one dd transition and does not change
+                // ordering).
+                v.max(entry)
+            } else {
+                entry
+            };
+            m_cur[q] = e + from_prev;
+            i_cur[q] = (m_prev[q] + t.mi).max(i_prev[q] + t.ii);
+            if m_cur[q] > best {
+                best = m_cur[q];
+            }
+        }
+        m_prev = m_cur;
+        i_prev = i_cur;
+    }
+    best
+}
+
+/// Exact local Forward score (bits): log-sum over all alignments.
+///
+/// Always ≥ the Viterbi score. Costs `K × L` cells, accounted in
+/// `counters.forward_cells`.
+pub fn forward_score(profile: &ProfileHmm, target: &[u8], counters: &mut WorkCounters) -> f32 {
+    let k = profile.len();
+    let l = target.len();
+    if l == 0 {
+        return NEG_INF;
+    }
+    let t = *profile.transitions();
+    let entry = profile.entry();
+    counters.forward_cells += (k as u64) * (l as u64);
+
+    let mut m_prev = vec![NEG_INF; k];
+    let mut i_prev = vec![NEG_INF; k];
+    let mut total = NEG_INF;
+
+    for &x in target {
+        let mut m_cur = vec![NEG_INF; k];
+        let mut i_cur = vec![NEG_INF; k];
+        for q in 0..k {
+            let e = profile.match_score(q, x);
+            let from_prev = if q > 0 {
+                log2_sum_exp(
+                    log2_sum_exp(m_prev[q - 1] + t.mm, i_prev[q - 1] + t.im),
+                    entry,
+                )
+            } else {
+                entry
+            };
+            m_cur[q] = e + from_prev;
+            i_cur[q] = log2_sum_exp(m_prev[q] + t.mi, i_prev[q] + t.ii);
+            total = log2_sum_exp(total, m_cur[q]);
+        }
+        m_prev = m_cur;
+        i_prev = i_cur;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substitution::SubstitutionMatrix;
+    use afsb_seq::alphabet::MoleculeKind;
+    use afsb_seq::generate::{background_sequence, mutate_homolog, rng_for};
+    use afsb_seq::sequence::Sequence;
+
+    fn profile_of(text: &str) -> ProfileHmm {
+        let q = Sequence::parse("q", MoleculeKind::Protein, text).unwrap();
+        ProfileHmm::from_query(&q, &SubstitutionMatrix::blosum62())
+    }
+
+    #[test]
+    fn log2_sum_exp_basics() {
+        assert!((log2_sum_exp(0.0, 0.0) - 1.0).abs() < 1e-6);
+        assert!((log2_sum_exp(3.0, NEG_INF) - 3.0).abs() < 1e-6);
+        assert!((log2_sum_exp(NEG_INF, -2.0) + 2.0).abs() < 1e-6);
+        // Commutativity.
+        assert!((log2_sum_exp(1.3, -0.7) - log2_sum_exp(-0.7, 1.3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_alignment_scores_positive() {
+        let p = profile_of("WKDYEWMHNCRF");
+        let t = Sequence::parse("t", MoleculeKind::Protein, "WKDYEWMHNCRF").unwrap();
+        let mut c = WorkCounters::default();
+        let v = viterbi_score(&p, t.codes(), &mut c);
+        assert!(v > 15.0, "self Viterbi {v}");
+        assert_eq!(c.band_cells_mi, 144);
+    }
+
+    #[test]
+    fn forward_at_least_viterbi() {
+        let mut rng = rng_for("dp", 1);
+        let q = background_sequence("q", MoleculeKind::Protein, 40, &mut rng);
+        let p = ProfileHmm::from_query(&q, &SubstitutionMatrix::blosum62());
+        for i in 0..12 {
+            let t = if i % 2 == 0 {
+                background_sequence(format!("t{i}"), MoleculeKind::Protein, 90, &mut rng)
+            } else {
+                mutate_homolog(&q, format!("h{i}"), 0.7, 0.02, &mut rng)
+            };
+            let mut c = WorkCounters::default();
+            let v = viterbi_score(&p, t.codes(), &mut c);
+            let f = forward_score(&p, t.codes(), &mut c);
+            assert!(
+                f >= v - 1e-3,
+                "forward {f} must dominate viterbi {v} (target {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn homolog_beats_random_in_viterbi() {
+        let mut rng = rng_for("dp", 2);
+        let q = background_sequence("q", MoleculeKind::Protein, 60, &mut rng);
+        let p = ProfileHmm::from_query(&q, &SubstitutionMatrix::blosum62());
+        let hom = mutate_homolog(&q, "h", 0.85, 0.02, &mut rng);
+        let rnd = background_sequence("r", MoleculeKind::Protein, 60, &mut rng);
+        let mut c = WorkCounters::default();
+        let vh = viterbi_score(&p, hom.codes(), &mut c);
+        let vr = viterbi_score(&p, rnd.codes(), &mut c);
+        assert!(vh > vr + 15.0, "homolog {vh} vs random {vr}");
+    }
+
+    #[test]
+    fn gapped_homolog_still_found() {
+        // Indels break the single diagonal, but Viterbi bridges them.
+        let mut rng = rng_for("dp", 3);
+        let q = background_sequence("q", MoleculeKind::Protein, 60, &mut rng);
+        let p = ProfileHmm::from_query(&q, &SubstitutionMatrix::blosum62());
+        let gapped = mutate_homolog(&q, "g", 0.9, 0.08, &mut rng);
+        let rnd = background_sequence("r", MoleculeKind::Protein, gapped.len(), &mut rng);
+        let mut c = WorkCounters::default();
+        let vg = viterbi_score(&p, gapped.codes(), &mut c);
+        let vr = viterbi_score(&p, rnd.codes(), &mut c);
+        assert!(vg > vr + 10.0, "gapped {vg} vs random {vr}");
+    }
+
+    #[test]
+    fn empty_target_scores_neg_inf() {
+        let p = profile_of("WKD");
+        let mut c = WorkCounters::default();
+        assert!(viterbi_score(&p, &[], &mut c) <= NEG_INF);
+        assert!(forward_score(&p, &[], &mut c) <= NEG_INF);
+    }
+}

@@ -1,0 +1,148 @@
+//! Gumbel (EVD) score statistics and E-values.
+//!
+//! HMMER's filter thresholds are P-value cuts against calibrated extreme-
+//! value distributions. We calibrate per profile by scoring a sample of
+//! background sequences and fitting a Gumbel by the method of moments:
+//! `λ = π / (σ·√6)`, `μ = mean − γ/λ` (γ = Euler–Mascheroni).
+
+/// Euler–Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A fitted Gumbel distribution over bit scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GumbelFit {
+    /// Scale parameter.
+    pub lambda: f64,
+    /// Location parameter.
+    pub mu: f64,
+}
+
+impl GumbelFit {
+    /// Fit by the method of moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 scores are supplied (the fit would be
+    /// meaningless).
+    pub fn fit(scores: &[f32]) -> GumbelFit {
+        assert!(scores.len() >= 8, "need at least 8 calibration scores");
+        let n = scores.len() as f64;
+        let mean = scores.iter().map(|&s| f64::from(s)).sum::<f64>() / n;
+        let var = scores
+            .iter()
+            .map(|&s| {
+                let d = f64::from(s) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1.0);
+        let sigma = var.sqrt().max(1e-6);
+        let lambda = std::f64::consts::PI / (sigma * 6.0f64.sqrt());
+        let mu = mean - EULER_GAMMA / lambda;
+        GumbelFit { lambda, mu }
+    }
+
+    /// Survival function `P(S > s)`.
+    pub fn survival(&self, score: f64) -> f64 {
+        let z = self.lambda * (score - self.mu);
+        // 1 - exp(-exp(-z)), stable for both tails.
+        let e = (-z).exp();
+        -(-e).exp_m1()
+    }
+
+    /// E-value for a score against a database of `n` sequences.
+    pub fn evalue(&self, score: f64, n: u64) -> f64 {
+        self.survival(score) * n as f64
+    }
+
+    /// The score at which the survival equals `p` (threshold inversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn score_at_pvalue(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        // survival(s) = p  =>  s = mu - ln(-ln(1-p)) / lambda
+        self.mu - (-(1.0 - p).ln()).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Draw from a Gumbel(mu, lambda) via inverse CDF.
+    fn sample(mu: f64, lambda: f64, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                (mu - (-(u.ln())).ln() / lambda) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let scores = sample(10.0, 0.7, 20_000, 42);
+        let fit = GumbelFit::fit(&scores);
+        assert!((fit.mu - 10.0).abs() < 0.2, "mu {}", fit.mu);
+        assert!((fit.lambda - 0.7).abs() < 0.05, "lambda {}", fit.lambda);
+    }
+
+    #[test]
+    fn survival_monotone_decreasing() {
+        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        let mut prev = 1.0;
+        for s in [-10.0, 0.0, 5.0, 10.0, 20.0, 50.0] {
+            let p = fit.survival(s);
+            assert!(p <= prev + 1e-15, "survival not monotone at {s}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn survival_at_extremes() {
+        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        assert!(fit.survival(-100.0) > 0.999999);
+        assert!(fit.survival(100.0) < 1e-12);
+    }
+
+    #[test]
+    fn threshold_inversion_roundtrips() {
+        let fit = GumbelFit { lambda: 0.65, mu: 8.0 };
+        for p in [0.02, 1e-3, 1e-5] {
+            let s = fit.score_at_pvalue(p);
+            let back = fit.survival(s);
+            assert!(
+                (back - p).abs() / p < 1e-6,
+                "p {p} roundtrips to {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn evalue_scales_with_database_size() {
+        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        let e1 = fit.evalue(12.0, 1000);
+        let e2 = fit.evalue(12.0, 2000);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_tail_matches_fit() {
+        // P-values from the fit should match empirical frequencies.
+        let scores = sample(0.0, 1.0, 50_000, 7);
+        let fit = GumbelFit::fit(&scores);
+        let thresh = fit.score_at_pvalue(0.02);
+        let frac = scores.iter().filter(|&&s| f64::from(s) > thresh).count() as f64
+            / scores.len() as f64;
+        assert!(
+            (frac - 0.02).abs() < 0.005,
+            "empirical tail {frac} vs nominal 0.02"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Hits and alignments.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A gapped local alignment between profile columns and target positions.
+///
+/// `pairs` lists `(query_column, target_position)` for every *match* state
+/// on the optimal path, both 0-based and strictly increasing in each
+/// coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Matched `(query_column, target_position)` pairs.
+    pub pairs: Vec<(u32, u32)>,
+    /// Profile length.
+    pub query_len: u32,
+    /// Target length.
+    pub target_len: u32,
+}
+
+impl Alignment {
+    /// Number of aligned (match) positions.
+    pub fn matches(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// First and last aligned query columns, if any.
+    pub fn query_span(&self) -> Option<(u32, u32)> {
+        Some((self.pairs.first()?.0, self.pairs.last()?.0))
+    }
+
+    /// First and last aligned target positions, if any.
+    pub fn target_span(&self) -> Option<(u32, u32)> {
+        Some((self.pairs.first()?.1, self.pairs.last()?.1))
+    }
+
+    /// Validate monotonicity (debug helper used by tests and property
+    /// checks).
+    pub fn is_monotonic(&self) -> bool {
+        self.pairs
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1)
+    }
+}
+
+/// A reported database hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Target sequence id.
+    pub target_id: String,
+    /// Final (Forward) score in bits.
+    pub score_bits: f32,
+    /// E-value against the search database size.
+    pub evalue: f64,
+    /// The optimal alignment from the banded Viterbi traceback.
+    pub alignment: Alignment,
+}
+
+impl Hit {
+    /// Deterministic ordering: ascending E-value, ties by id.
+    pub fn compare(&self, other: &Hit) -> Ordering {
+        self.evalue
+            .partial_cmp(&other.evalue)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.target_id.cmp(&other.target_id))
+    }
+}
+
+impl fmt::Display for Hit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}  score={:.1} bits  E={:.2e}  ({} aligned cols)",
+            self.target_id,
+            self.score_bits,
+            self.evalue,
+            self.alignment.matches()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alignment(pairs: Vec<(u32, u32)>) -> Alignment {
+        Alignment {
+            pairs,
+            query_len: 100,
+            target_len: 100,
+        }
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(alignment(vec![(0, 5), (1, 6), (4, 9)]).is_monotonic());
+        assert!(!alignment(vec![(0, 5), (1, 5)]).is_monotonic());
+        assert!(!alignment(vec![(3, 5), (2, 8)]).is_monotonic());
+    }
+
+    #[test]
+    fn spans() {
+        let a = alignment(vec![(2, 10), (5, 13), (9, 20)]);
+        assert_eq!(a.query_span(), Some((2, 9)));
+        assert_eq!(a.target_span(), Some((10, 20)));
+        assert_eq!(alignment(vec![]).query_span(), None);
+    }
+
+    #[test]
+    fn hit_ordering_by_evalue_then_id() {
+        let mk = |id: &str, e: f64| Hit {
+            target_id: id.into(),
+            score_bits: 10.0,
+            evalue: e,
+            alignment: alignment(vec![]),
+        };
+        let mut hits = vec![mk("b", 1e-3), mk("a", 1e-3), mk("c", 1e-9)];
+        hits.sort_by(Hit::compare);
+        let ids: Vec<&str> = hits.iter().map(|h| h.target_id.as_str()).collect();
+        assert_eq!(ids, vec!["c", "a", "b"]);
+    }
+}

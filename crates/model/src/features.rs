@@ -1,0 +1,134 @@
+//! Featurization: assembly → token/atom features.
+
+use afsb_seq::alphabet::MoleculeKind;
+use afsb_seq::chain::Assembly;
+
+/// Average heavy atoms per residue, by molecule kind (drives the
+/// diffusion module's atom count and memory footprint).
+pub fn atoms_per_residue(kind: MoleculeKind) -> usize {
+    match kind {
+        MoleculeKind::Protein => 8,
+        MoleculeKind::Dna | MoleculeKind::Rna => 21,
+        MoleculeKind::Ligand => 24,
+        MoleculeKind::Ion => 1,
+    }
+}
+
+/// One token (residue) of the featurized input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Residue code within its alphabet.
+    pub residue: u8,
+    /// Molecule kind of the owning chain.
+    pub kind: MoleculeKind,
+    /// Chain index (instance, counting copies).
+    pub chain_index: u32,
+    /// Position within the chain.
+    pub position: u32,
+}
+
+/// The featurized input of one assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturizedInput {
+    /// Assembly name.
+    pub name: String,
+    /// All tokens in chain order.
+    pub tokens: Vec<Token>,
+    /// Total heavy-atom count.
+    pub atoms: usize,
+    /// Number of chain instances.
+    pub chains: usize,
+}
+
+impl FeaturizedInput {
+    /// Number of tokens (`N`).
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether two tokens belong to the same chain instance.
+    pub fn same_chain(&self, a: usize, b: usize) -> bool {
+        self.tokens[a].chain_index == self.tokens[b].chain_index
+    }
+
+    /// Relative position feature between two tokens: clamped signed
+    /// offset within a chain, or a cross-chain marker.
+    pub fn relpos(&self, a: usize, b: usize) -> i32 {
+        const CLAMP: i32 = 32;
+        if self.same_chain(a, b) {
+            (self.tokens[b].position as i32 - self.tokens[a].position as i32)
+                .clamp(-CLAMP, CLAMP)
+        } else {
+            CLAMP + 1
+        }
+    }
+}
+
+/// Featurize an assembly: one token per residue of every chain copy.
+pub fn featurize(assembly: &Assembly) -> FeaturizedInput {
+    let mut tokens = Vec::with_capacity(assembly.total_residues());
+    let mut atoms = 0usize;
+    let mut chain_index = 0u32;
+    for chain in assembly.chains() {
+        for _copy in 0..chain.copies() {
+            let kind = chain.kind();
+            for (position, &residue) in chain.sequence().codes().iter().enumerate() {
+                tokens.push(Token {
+                    residue,
+                    kind,
+                    chain_index,
+                    position: position as u32,
+                });
+            }
+            atoms += chain.sequence().len() * atoms_per_residue(kind);
+            chain_index += 1;
+        }
+    }
+    FeaturizedInput {
+        name: assembly.name().to_owned(),
+        tokens,
+        atoms,
+        chains: chain_index as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afsb_seq::samples::{sample, SampleId};
+
+    #[test]
+    fn token_counts_match_residues() {
+        for id in SampleId::all() {
+            let s = sample(id);
+            let f = featurize(&s.assembly);
+            assert_eq!(f.n_tokens(), s.assembly.total_residues(), "{id}");
+            assert_eq!(f.chains, s.assembly.chain_count(), "{id}");
+        }
+    }
+
+    #[test]
+    fn atoms_scale_with_kind() {
+        let f = featurize(&sample(SampleId::S7rce).assembly);
+        // 250 protein residues * 8 + 2*28 DNA * 21.
+        assert_eq!(f.atoms, 250 * 8 + 56 * 21);
+    }
+
+    #[test]
+    fn homodimer_copies_get_distinct_chain_indices() {
+        let f = featurize(&sample(SampleId::S2pv7).assembly);
+        assert_eq!(f.tokens[0].chain_index, 0);
+        assert_eq!(f.tokens[242].chain_index, 1);
+        assert!(f.same_chain(0, 241));
+        assert!(!f.same_chain(0, 242));
+    }
+
+    #[test]
+    fn relpos_clamps_and_marks_cross_chain() {
+        let f = featurize(&sample(SampleId::S2pv7).assembly);
+        assert_eq!(f.relpos(0, 1), 1);
+        assert_eq!(f.relpos(5, 2), -3);
+        assert_eq!(f.relpos(0, 200), 32); // clamped
+        assert_eq!(f.relpos(0, 300), 33); // cross-chain marker
+    }
+}

@@ -1,0 +1,123 @@
+//! Predicted structures.
+
+/// A predicted 3-D structure: one coordinate per token (residue), plus
+/// per-token confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Structure {
+    coords: Vec<[f32; 3]>,
+    plddt: Vec<f32>,
+}
+
+impl Structure {
+    /// Build from coordinates and per-token confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or are zero.
+    pub fn new(coords: Vec<[f32; 3]>, plddt: Vec<f32>) -> Structure {
+        assert!(!coords.is_empty(), "structure must have tokens");
+        assert_eq!(coords.len(), plddt.len(), "confidence per token");
+        Structure { coords, plddt }
+    }
+
+    /// Token count.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the structure is empty (never true for constructed ones).
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates.
+    pub fn coords(&self) -> &[[f32; 3]] {
+        &self.coords
+    }
+
+    /// Per-token pLDDT-style confidence in `[0, 100]`.
+    pub fn plddt(&self) -> &[f32] {
+        &self.plddt
+    }
+
+    /// Mean confidence.
+    pub fn mean_plddt(&self) -> f32 {
+        self.plddt.iter().sum::<f32>() / self.plddt.len() as f32
+    }
+
+    /// Radius of gyration (spread of the fold).
+    pub fn radius_of_gyration(&self) -> f32 {
+        let n = self.coords.len() as f32;
+        let mut center = [0.0f32; 3];
+        for c in &self.coords {
+            for d in 0..3 {
+                center[d] += c[d] / n;
+            }
+        }
+        let mut sq = 0.0;
+        for c in &self.coords {
+            for d in 0..3 {
+                let delta = c[d] - center[d];
+                sq += delta * delta;
+            }
+        }
+        (sq / n).sqrt()
+    }
+
+    /// Root-mean-square deviation against another structure of equal
+    /// length (no superposition — used for convergence checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn rmsd(&self, other: &Structure) -> f32 {
+        assert_eq!(self.len(), other.len(), "structures must align");
+        let mut sq = 0.0;
+        for (a, b) in self.coords.iter().zip(&other.coords) {
+            for d in 0..3 {
+                let delta = a[d] - b[d];
+                sq += delta * delta;
+            }
+        }
+        (sq / self.len() as f32).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Structure {
+        let coords = (0..n).map(|i| [i as f32, 0.0, 0.0]).collect();
+        Structure::new(coords, vec![80.0; n])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = line(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.mean_plddt(), 80.0);
+    }
+
+    #[test]
+    fn rmsd_zero_to_self_and_positive_to_shifted() {
+        let s = line(6);
+        assert_eq!(s.rmsd(&s), 0.0);
+        let shifted = Structure::new(
+            s.coords().iter().map(|c| [c[0] + 3.0, c[1], c[2]]).collect(),
+            vec![80.0; 6],
+        );
+        assert!((s.rmsd(&shifted) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radius_of_gyration_grows_with_spread() {
+        assert!(line(50).radius_of_gyration() > line(5).radius_of_gyration());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence per token")]
+    fn mismatched_plddt_rejected() {
+        let _ = Structure::new(vec![[0.0; 3]; 3], vec![1.0; 2]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Residue alphabets for proteins and nucleic acids.
+//!
+//! Residues are stored as compact `u8` codes (`0..K`). The protein alphabet
+//! follows the canonical 20 amino acids; DNA/RNA use the 4 bases. Ambiguity
+//! codes (`X`, `N`) map to a dedicated *any* code so database text can be
+//! scanned without rejection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The molecular type of a chain, mirroring the AF3 input schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub enum MoleculeKind {
+    /// Amino-acid chain (20-letter alphabet).
+    Protein,
+    /// Deoxyribonucleic acid chain (ACGT).
+    Dna,
+    /// Ribonucleic acid chain (ACGU).
+    Rna,
+    /// Small-molecule ligand (opaque to the MSA phase).
+    Ligand,
+    /// Metal or halide ion (opaque to the MSA phase).
+    Ion,
+}
+
+impl MoleculeKind {
+    /// Whether this molecule type participates in an MSA database search.
+    ///
+    /// Proteins are searched with the jackhmmer driver and RNA with nhmmer;
+    /// DNA chains are excluded from the MSA phase (paper §IV-B), as are
+    /// ligands and ions.
+    pub fn msa_searched(self) -> bool {
+        matches!(self, MoleculeKind::Protein | MoleculeKind::Rna)
+    }
+
+    /// Whether the chain is a polymer with a residue sequence.
+    pub fn is_polymer(self) -> bool {
+        matches!(
+            self,
+            MoleculeKind::Protein | MoleculeKind::Dna | MoleculeKind::Rna
+        )
+    }
+}
+
+impl fmt::Display for MoleculeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MoleculeKind::Protein => "protein",
+            MoleculeKind::Dna => "dna",
+            MoleculeKind::Rna => "rna",
+            MoleculeKind::Ligand => "ligand",
+            MoleculeKind::Ion => "ion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 20 canonical amino acids in HMMER ordering (`ACDEFGHIKLMNPQRSTVWY`).
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+/// DNA bases.
+pub const DNA_BASES: &[u8; 4] = b"ACGT";
+/// RNA bases.
+pub const RNA_BASES: &[u8; 4] = b"ACGU";
+
+/// An alphabet maps residue characters to compact codes and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alphabet {
+    kind: MoleculeKind,
+}
+
+impl Alphabet {
+    /// The protein (20 amino acid) alphabet.
+    pub const PROTEIN: Alphabet = Alphabet {
+        kind: MoleculeKind::Protein,
+    };
+    /// The DNA (ACGT) alphabet.
+    pub const DNA: Alphabet = Alphabet {
+        kind: MoleculeKind::Dna,
+    };
+    /// The RNA (ACGU) alphabet.
+    pub const RNA: Alphabet = Alphabet {
+        kind: MoleculeKind::Rna,
+    };
+
+    /// Alphabet for a polymer molecule kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a polymer (ligand/ion).
+    pub fn for_kind(kind: MoleculeKind) -> Alphabet {
+        assert!(kind.is_polymer(), "no alphabet for non-polymer {kind}");
+        Alphabet { kind }
+    }
+
+    /// The molecule kind this alphabet encodes.
+    pub fn kind(&self) -> MoleculeKind {
+        self.kind
+    }
+
+    /// Number of canonical symbols (20 for protein, 4 for nucleic acids).
+    pub fn len(&self) -> usize {
+        match self.kind {
+            MoleculeKind::Protein => 20,
+            MoleculeKind::Dna | MoleculeKind::Rna => 4,
+            _ => unreachable!("alphabets exist only for polymers"),
+        }
+    }
+
+    /// Always false: alphabets have at least 4 symbols.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The code used for ambiguity characters (`X`, `N`), equal to
+    /// [`Alphabet::len`].
+    pub fn any_code(&self) -> u8 {
+        self.len() as u8
+    }
+
+    /// The canonical symbol table.
+    pub fn symbols(&self) -> &'static [u8] {
+        match self.kind {
+            MoleculeKind::Protein => AMINO_ACIDS,
+            MoleculeKind::Dna => DNA_BASES,
+            MoleculeKind::Rna => RNA_BASES,
+            _ => unreachable!("alphabets exist only for polymers"),
+        }
+    }
+
+    /// Encode one residue character, case-insensitively.
+    ///
+    /// Returns `None` for characters outside the alphabet (including gaps);
+    /// ambiguity characters (`X` for protein, `N` for nucleic acids) encode
+    /// to [`Alphabet::any_code`].
+    pub fn encode(&self, c: char) -> Option<u8> {
+        let up = c.to_ascii_uppercase() as u8;
+        let symbols = self.symbols();
+        if let Some(pos) = symbols.iter().position(|&s| s == up) {
+            return Some(pos as u8);
+        }
+        let ambiguous = match self.kind {
+            MoleculeKind::Protein => up == b'X' || up == b'B' || up == b'Z' || up == b'U',
+            MoleculeKind::Dna | MoleculeKind::Rna => up == b'N',
+            _ => false,
+        };
+        if ambiguous {
+            Some(self.any_code())
+        } else {
+            None
+        }
+    }
+
+    /// Decode a residue code back to its character (`X`/`N` for the
+    /// ambiguity code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > any_code()`.
+    pub fn decode(&self, code: u8) -> char {
+        let symbols = self.symbols();
+        if (code as usize) < symbols.len() {
+            symbols[code as usize] as char
+        } else if code == self.any_code() {
+            match self.kind {
+                MoleculeKind::Protein => 'X',
+                _ => 'N',
+            }
+        } else {
+            panic!("residue code {code} out of range for {}", self.kind)
+        }
+    }
+
+    /// Background (null-model) frequency of each canonical residue.
+    ///
+    /// Protein frequencies follow the Robinson–Robinson composition used by
+    /// HMMER's null model; nucleic acids are uniform.
+    pub fn background(&self) -> &'static [f32] {
+        match self.kind {
+            MoleculeKind::Protein => &PROTEIN_BACKGROUND,
+            MoleculeKind::Dna | MoleculeKind::Rna => &NUCLEOTIDE_BACKGROUND,
+            _ => unreachable!("alphabets exist only for polymers"),
+        }
+    }
+}
+
+/// Robinson–Robinson amino-acid background frequencies (HMMER null model),
+/// in `ACDEFGHIKLMNPQRSTVWY` order.
+pub static PROTEIN_BACKGROUND: [f32; 20] = [
+    0.0787945, // A
+    0.0151600, // C
+    0.0535222, // D
+    0.0668298, // E
+    0.0397062, // F
+    0.0695071, // G
+    0.0229198, // H
+    0.0590092, // I
+    0.0594422, // K
+    0.0963728, // L
+    0.0237718, // M
+    0.0414386, // N
+    0.0482904, // P
+    0.0395639, // Q
+    0.0540978, // R
+    0.0683364, // S
+    0.0540687, // T
+    0.0673417, // V
+    0.0114135, // W
+    0.0304133, // Y
+];
+
+/// Uniform nucleotide background.
+pub static NUCLEOTIDE_BACKGROUND: [f32; 4] = [0.25, 0.25, 0.25, 0.25];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_roundtrip() {
+        let a = Alphabet::PROTEIN;
+        for (i, &c) in AMINO_ACIDS.iter().enumerate() {
+            assert_eq!(a.encode(c as char), Some(i as u8));
+            assert_eq!(a.decode(i as u8), c as char);
+        }
+    }
+
+    #[test]
+    fn lowercase_encodes() {
+        assert_eq!(Alphabet::PROTEIN.encode('a'), Some(0));
+        assert_eq!(Alphabet::DNA.encode('t'), Some(3));
+        assert_eq!(Alphabet::RNA.encode('u'), Some(3));
+    }
+
+    #[test]
+    fn ambiguity_codes() {
+        assert_eq!(
+            Alphabet::PROTEIN.encode('X'),
+            Some(Alphabet::PROTEIN.any_code())
+        );
+        assert_eq!(Alphabet::RNA.encode('N'), Some(Alphabet::RNA.any_code()));
+        assert_eq!(Alphabet::PROTEIN.decode(20), 'X');
+    }
+
+    #[test]
+    fn rejects_foreign_characters() {
+        assert_eq!(Alphabet::DNA.encode('E'), None);
+        assert_eq!(Alphabet::RNA.encode('T'), None);
+        assert_eq!(Alphabet::PROTEIN.encode('-'), None);
+    }
+
+    #[test]
+    fn background_sums_to_one() {
+        let s: f32 = Alphabet::PROTEIN.background().iter().sum();
+        assert!((s - 1.0).abs() < 1e-3, "protein background sums to {s}");
+        let s: f32 = Alphabet::RNA.background().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn msa_participation() {
+        assert!(MoleculeKind::Protein.msa_searched());
+        assert!(MoleculeKind::Rna.msa_searched());
+        assert!(!MoleculeKind::Dna.msa_searched());
+        assert!(!MoleculeKind::Ligand.msa_searched());
+    }
+}

@@ -1,0 +1,240 @@
+//! Multi-chain biomolecular assemblies.
+
+use crate::alphabet::MoleculeKind;
+use crate::sequence::Sequence;
+use crate::ParseSeqError;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One chain of an assembly: an identified sequence plus a copy count
+/// (AF3 inputs may list several ids for one sequence entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    ids: Vec<String>,
+    sequence: Sequence,
+}
+
+impl Chain {
+    /// Create a chain with a single id.
+    pub fn new(id: impl Into<String>, sequence: Sequence) -> Chain {
+        Chain {
+            ids: vec![id.into()],
+            sequence,
+        }
+    }
+
+    /// Create a chain entry covering several identical copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty.
+    pub fn with_copies(ids: Vec<String>, sequence: Sequence) -> Chain {
+        assert!(!ids.is_empty(), "chain must have at least one id");
+        Chain { ids, sequence }
+    }
+
+    /// All chain identifiers (one per copy).
+    pub fn ids(&self) -> &[String] {
+        &self.ids
+    }
+
+    /// Number of copies of this chain in the assembly.
+    pub fn copies(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The underlying sequence (shared by all copies).
+    pub fn sequence(&self) -> &Sequence {
+        &self.sequence
+    }
+
+    /// Molecule kind of the chain.
+    pub fn kind(&self) -> MoleculeKind {
+        self.sequence.kind()
+    }
+
+    /// Residues contributed by all copies of this chain.
+    pub fn total_residues(&self) -> usize {
+        self.sequence.len() * self.copies()
+    }
+}
+
+/// A complete AF3 prediction input: a named set of chains.
+///
+/// ```
+/// use afsb_seq::{Assembly, Chain, Sequence, MoleculeKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut asm = Assembly::new("dimer");
+/// asm.push(Chain::new("A", Sequence::parse("A", MoleculeKind::Protein, "MKV")?))?;
+/// asm.push(Chain::new("B", Sequence::parse("B", MoleculeKind::Rna, "ACGU")?))?;
+/// assert_eq!(asm.total_residues(), 7);
+/// assert_eq!(asm.chains_of(MoleculeKind::Rna).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assembly {
+    name: String,
+    chains: Vec<Chain>,
+}
+
+impl Assembly {
+    /// Create an empty assembly.
+    pub fn new(name: impl Into<String>) -> Assembly {
+        Assembly {
+            name: name.into(),
+            chains: Vec::new(),
+        }
+    }
+
+    /// Append a chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeqError::DuplicateChainId`] if any id of the new
+    /// chain is already present.
+    pub fn push(&mut self, chain: Chain) -> Result<(), ParseSeqError> {
+        let existing: HashSet<&str> = self
+            .chains
+            .iter()
+            .flat_map(|c| c.ids().iter().map(String::as_str))
+            .collect();
+        for id in chain.ids() {
+            if existing.contains(id.as_str()) {
+                return Err(ParseSeqError::DuplicateChainId(id.clone()));
+            }
+        }
+        self.chains.push(chain);
+        Ok(())
+    }
+
+    /// The assembly name (the AF3 job name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All chain entries.
+    pub fn chains(&self) -> &[Chain] {
+        &self.chains
+    }
+
+    /// Iterator over chains of a given molecule kind.
+    pub fn chains_of(&self, kind: MoleculeKind) -> impl Iterator<Item = &Chain> {
+        self.chains.iter().filter(move |c| c.kind() == kind)
+    }
+
+    /// Total residues over all chain copies (the paper's "Seq. Length").
+    pub fn total_residues(&self) -> usize {
+        self.chains.iter().map(Chain::total_residues).sum()
+    }
+
+    /// Total number of chain instances (counting copies).
+    pub fn chain_count(&self) -> usize {
+        self.chains.iter().map(Chain::copies).sum()
+    }
+
+    /// Number of distinct sequence entries.
+    pub fn entity_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Longest single-chain length of a given kind (drives nhmmer memory).
+    pub fn max_chain_len(&self, kind: MoleculeKind) -> usize {
+        self.chains_of(kind)
+            .map(|c| c.sequence().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any chain is of `kind`.
+    pub fn contains_kind(&self, kind: MoleculeKind) -> bool {
+        self.chains.iter().any(|c| c.kind() == kind)
+    }
+
+    /// A compact composition summary like `Protein (3) + DNA (2)`.
+    pub fn composition_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for kind in [
+            MoleculeKind::Protein,
+            MoleculeKind::Dna,
+            MoleculeKind::Rna,
+            MoleculeKind::Ligand,
+            MoleculeKind::Ion,
+        ] {
+            let count: usize = self.chains_of(kind).map(Chain::copies).sum();
+            if count > 0 {
+                let label = match kind {
+                    MoleculeKind::Protein => "Protein",
+                    MoleculeKind::Dna => "DNA",
+                    MoleculeKind::Rna => "RNA",
+                    MoleculeKind::Ligand => "Ligand",
+                    MoleculeKind::Ion => "Ion",
+                };
+                parts.push(format!("{label} ({count})"));
+            }
+        }
+        parts.join(" + ")
+    }
+}
+
+impl fmt::Display for Assembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{} residues]",
+            self.name,
+            self.composition_summary(),
+            self.total_residues()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protein(id: &str, text: &str) -> Chain {
+        Chain::new(id, Sequence::parse(id, MoleculeKind::Protein, text).unwrap())
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut asm = Assembly::new("t");
+        asm.push(protein("A", "MKV")).unwrap();
+        let err = asm.push(protein("A", "MKV")).unwrap_err();
+        assert_eq!(err, ParseSeqError::DuplicateChainId("A".into()));
+    }
+
+    #[test]
+    fn copies_count_residues() {
+        let mut asm = Assembly::new("t");
+        let seq = Sequence::parse("e1", MoleculeKind::Protein, "MKVL").unwrap();
+        asm.push(Chain::with_copies(vec!["A".into(), "B".into()], seq))
+            .unwrap();
+        assert_eq!(asm.total_residues(), 8);
+        assert_eq!(asm.chain_count(), 2);
+        assert_eq!(asm.entity_count(), 1);
+    }
+
+    #[test]
+    fn composition_summary_format() {
+        let mut asm = Assembly::new("t");
+        asm.push(protein("A", "MKV")).unwrap();
+        asm.push(protein("B", "MKV")).unwrap();
+        asm.push(Chain::new(
+            "C",
+            Sequence::parse("C", MoleculeKind::Dna, "ACGT").unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(asm.composition_summary(), "Protein (2) + DNA (1)");
+    }
+
+    #[test]
+    fn max_chain_len_by_kind() {
+        let mut asm = Assembly::new("t");
+        asm.push(protein("A", "MKVLMKVL")).unwrap();
+        assert_eq!(asm.max_chain_len(MoleculeKind::Protein), 8);
+        assert_eq!(asm.max_chain_len(MoleculeKind::Rna), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Sequence complexity metrics.
+//!
+//! The paper's `promo` sample owes its pathological MSA behaviour to
+//! poly-glutamine (poly-Q) repeats: low-complexity regions generate a flood
+//! of ambiguous partial alignments that must still be scored and filtered
+//! (paper §IV-B, Observation 2). This module quantifies that property so the
+//! search engine's candidate-generation behaviour can depend on it
+//! mechanistically.
+//!
+//! The detector is SEG-like: it slides a window over the sequence, computes
+//! the Shannon entropy of the residue composition inside the window, and
+//! marks windows whose entropy falls below a trigger threshold as
+//! low-complexity.
+
+use crate::sequence::Sequence;
+
+/// Default SEG-like window width (residues).
+pub const DEFAULT_WINDOW: usize = 12;
+/// Default entropy trigger (bits); protein windows below this are
+/// low-complexity. The classic SEG trigger is 2.2 bits for W=12.
+pub const DEFAULT_TRIGGER_BITS: f64 = 2.2;
+
+/// Shannon entropy (bits) of the residue composition of `codes`.
+///
+/// Returns 0 for an empty slice.
+pub fn shannon_entropy(codes: &[u8]) -> f64 {
+    if codes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u32; 256];
+    for &c in codes {
+        counts[c as usize] += 1;
+    }
+    let n = codes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = f64::from(c) / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// A contiguous low-complexity region, half-open residue coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowComplexityRegion {
+    /// First residue of the region.
+    pub start: usize,
+    /// One past the last residue.
+    pub end: usize,
+}
+
+impl LowComplexityRegion {
+    /// Residues covered by the region.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Complexity profile of a sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityProfile {
+    /// Entropy (bits) of each window position (length `len - window + 1`,
+    /// empty for sequences shorter than the window).
+    pub window_entropy: Vec<f64>,
+    /// Merged low-complexity regions.
+    pub regions: Vec<LowComplexityRegion>,
+    /// Fraction of residues inside low-complexity regions, in `[0, 1]`.
+    pub low_complexity_fraction: f64,
+    /// Whole-sequence entropy (bits).
+    pub global_entropy: f64,
+}
+
+impl ComplexityProfile {
+    /// Whether the sequence contains a notable low-complexity stretch.
+    pub fn has_low_complexity(&self) -> bool {
+        self.low_complexity_fraction > 0.05
+    }
+}
+
+/// Compute the complexity profile of a sequence with explicit parameters.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn profile_with(seq: &Sequence, window: usize, trigger_bits: f64) -> ComplexityProfile {
+    assert!(window > 0, "window must be positive");
+    let codes = seq.codes();
+    let global_entropy = shannon_entropy(codes);
+    if codes.len() < window {
+        let low = global_entropy < trigger_bits;
+        let regions = if low {
+            vec![LowComplexityRegion {
+                start: 0,
+                end: codes.len(),
+            }]
+        } else {
+            Vec::new()
+        };
+        let fraction = if low { 1.0 } else { 0.0 };
+        return ComplexityProfile {
+            window_entropy: Vec::new(),
+            regions,
+            low_complexity_fraction: fraction,
+            global_entropy,
+        };
+    }
+
+    let mut window_entropy = Vec::with_capacity(codes.len() - window + 1);
+    for start in 0..=codes.len() - window {
+        window_entropy.push(shannon_entropy(&codes[start..start + window]));
+    }
+
+    // Mark residues covered by any triggering window, then merge runs.
+    let mut low = vec![false; codes.len()];
+    for (start, &h) in window_entropy.iter().enumerate() {
+        if h < trigger_bits {
+            for flag in &mut low[start..start + window] {
+                *flag = true;
+            }
+        }
+    }
+    let mut regions = Vec::new();
+    let mut run_start = None;
+    for (i, &flag) in low.iter().enumerate() {
+        match (flag, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                regions.push(LowComplexityRegion { start: s, end: i });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        regions.push(LowComplexityRegion {
+            start: s,
+            end: codes.len(),
+        });
+    }
+    let covered: usize = regions.iter().map(LowComplexityRegion::len).sum();
+    ComplexityProfile {
+        window_entropy,
+        regions,
+        low_complexity_fraction: covered as f64 / codes.len() as f64,
+        global_entropy,
+    }
+}
+
+/// Compute the complexity profile with default SEG-like parameters.
+pub fn profile(seq: &Sequence) -> ComplexityProfile {
+    profile_with(seq, DEFAULT_WINDOW, DEFAULT_TRIGGER_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::MoleculeKind;
+
+    fn prot(text: &str) -> Sequence {
+        Sequence::parse("t", MoleculeKind::Protein, text).unwrap()
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant() {
+        let constant = prot(&"Q".repeat(40));
+        assert!(shannon_entropy(constant.codes()) < 1e-9);
+        let varied = prot("ACDEFGHIKLMNPQRSTVWY");
+        let h = shannon_entropy(varied.codes());
+        assert!((h - 20f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poly_q_detected() {
+        let text = format!("{}{}{}", "MKVLWAADEFGHIRSTNY", "Q".repeat(30), "WLKMHEFDSTRANGVICY");
+        let p = profile(&prot(&text));
+        assert!(p.has_low_complexity());
+        assert_eq!(p.regions.len(), 1);
+        let r = p.regions[0];
+        // The region must cover the poly-Q block (allowing window slop).
+        assert!(r.start <= 18 && r.end >= 48, "region {r:?}");
+    }
+
+    #[test]
+    fn diverse_sequence_clean() {
+        // A shuffled diverse sequence should have no low-complexity calls.
+        let text = "ACDEFGHIKLMNPQRSTVWYYWVTSRQPNMLKIHGFEDCAACDEFGHIKLMNPQRSTVWY";
+        let p = profile(&prot(text));
+        assert!(!p.has_low_complexity(), "fraction {}", p.low_complexity_fraction);
+        assert!(p.regions.is_empty());
+    }
+
+    #[test]
+    fn short_sequence_handled() {
+        let p = profile(&prot("QQQ"));
+        assert!((p.low_complexity_fraction - 1.0).abs() < 1e-12);
+        let p = profile(&prot("MKACDWYERFH"));
+        assert_eq!(p.low_complexity_fraction, 0.0);
+    }
+
+    #[test]
+    fn fraction_bounded() {
+        for text in ["MKVL", &"Q".repeat(100), "MKVLQQQQQQQQQQQQQQQQWERT"] {
+            let p = profile(&prot(text));
+            assert!((0.0..=1.0).contains(&p.low_complexity_fraction));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! FASTA serialization for sequences and databases.
+//!
+//! The real AF3 databases ship as (gigantic) FASTA files; the synthetic
+//! databases can be exported/imported in the same format, which also makes
+//! the suite's inputs inspectable with standard bioinformatics tooling.
+
+use crate::alphabet::MoleculeKind;
+use crate::sequence::Sequence;
+use crate::ParseSeqError;
+use std::fmt::Write as _;
+
+/// Line width used when writing sequence bodies.
+pub const LINE_WIDTH: usize = 60;
+
+/// Render sequences as FASTA text.
+pub fn to_fasta<'a>(sequences: impl IntoIterator<Item = &'a Sequence>) -> String {
+    let mut out = String::new();
+    for seq in sequences {
+        let _ = writeln!(out, ">{}", seq.id());
+        let text = seq.to_text();
+        for chunk in text.as_bytes().chunks(LINE_WIDTH) {
+            let _ = writeln!(out, "{}", std::str::from_utf8(chunk).expect("ascii"));
+        }
+    }
+    out
+}
+
+/// Parse FASTA text into sequences of the given molecule kind.
+///
+/// # Errors
+///
+/// Returns [`ParseSeqError::Json`]-style errors for structural problems
+/// (no header before sequence data) and residue validation errors for
+/// invalid characters.
+pub fn parse_fasta(text: &str, kind: MoleculeKind) -> Result<Vec<Sequence>, ParseSeqError> {
+    let mut sequences = Vec::new();
+    let mut id: Option<String> = None;
+    let mut body = String::new();
+
+    let flush = |id: &mut Option<String>,
+                     body: &mut String,
+                     out: &mut Vec<Sequence>|
+     -> Result<(), ParseSeqError> {
+        if let Some(name) = id.take() {
+            if body.is_empty() {
+                return Err(ParseSeqError::Empty);
+            }
+            out.push(Sequence::parse(name, kind, body)?);
+            body.clear();
+        }
+        Ok(())
+    };
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut id, &mut body, &mut sequences)?;
+            // The id is the first whitespace-delimited token.
+            let name = header.split_whitespace().next().unwrap_or("").to_owned();
+            if name.is_empty() {
+                return Err(ParseSeqError::Json("empty FASTA header".into()));
+            }
+            id = Some(name);
+        } else {
+            if id.is_none() {
+                return Err(ParseSeqError::Json(
+                    "sequence data before first FASTA header".into(),
+                ));
+            }
+            body.push_str(line);
+        }
+    }
+    flush(&mut id, &mut body, &mut sequences)?;
+    Ok(sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{background_sequence, rng_for};
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rng_for("fasta", 1);
+        let seqs: Vec<Sequence> = (0..5)
+            .map(|i| {
+                background_sequence(
+                    format!("seq{i}"),
+                    MoleculeKind::Protein,
+                    37 + i * 53,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let text = to_fasta(&seqs);
+        let back = parse_fasta(&text, MoleculeKind::Protein).unwrap();
+        assert_eq!(seqs, back);
+    }
+
+    #[test]
+    fn wraps_long_lines() {
+        let mut rng = rng_for("fasta", 2);
+        let seq = background_sequence("long", MoleculeKind::Rna, 200, &mut rng);
+        let text = to_fasta(std::slice::from_ref(&seq));
+        let longest = text.lines().map(str::len).max().unwrap();
+        assert!(longest <= LINE_WIDTH.max(5));
+    }
+
+    #[test]
+    fn header_takes_first_token() {
+        let text = ">sp|P12345|TEST description words here\nMKVL\n";
+        let seqs = parse_fasta(text, MoleculeKind::Protein).unwrap();
+        assert_eq!(seqs[0].id(), "sp|P12345|TEST");
+        assert_eq!(seqs[0].to_text(), "MKVL");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(parse_fasta("MKVL\n", MoleculeKind::Protein).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_record() {
+        let err = parse_fasta(">a\n>b\nMK\n", MoleculeKind::Protein).unwrap_err();
+        assert_eq!(err, ParseSeqError::Empty);
+    }
+
+    #[test]
+    fn rejects_invalid_residues() {
+        let err = parse_fasta(">a\nMK1L\n", MoleculeKind::Protein).unwrap_err();
+        assert!(matches!(err, ParseSeqError::InvalidResidue { .. }));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let seqs = parse_fasta(">a\n\nMK\nVL\n\n", MoleculeKind::Protein).unwrap();
+        assert_eq!(seqs[0].to_text(), "MKVL");
+    }
+}

@@ -1,0 +1,250 @@
+//! The AF3 structured-JSON input format.
+//!
+//! AlphaFold3 accepts jobs as JSON documents of the form:
+//!
+//! ```json
+//! {
+//!   "name": "2PV7",
+//!   "modelSeeds": [1],
+//!   "sequences": [
+//!     { "protein": { "id": ["A", "B"], "sequence": "MKV..." } },
+//!     { "dna":     { "id": "C",        "sequence": "ACGT..." } },
+//!     { "rna":     { "id": "R",        "sequence": "ACGU..." } },
+//!     { "ligand":  { "id": "L", "ccdCodes": ["ATP"] } }
+//!   ],
+//!   "dialect": "alphafold3",
+//!   "version": 1
+//! }
+//! ```
+//!
+//! This module parses that schema into an [`Assembly`] and serializes
+//! assemblies back out, so AFSysBench job files are interchangeable with
+//! real AF3 job files.
+
+use crate::alphabet::MoleculeKind;
+use crate::chain::{Assembly, Chain};
+use crate::sequence::Sequence;
+use crate::ParseSeqError;
+use serde::{Deserialize, Serialize};
+
+/// Serde mirror of the AF3 job document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct JobDocument {
+    /// Job name.
+    pub name: String,
+    /// Random seeds for the diffusion sampler.
+    #[serde(default = "default_seeds")]
+    pub model_seeds: Vec<u64>,
+    /// The chain entries.
+    pub sequences: Vec<SequenceEntry>,
+    /// Input dialect tag; always `alphafold3`.
+    #[serde(default = "default_dialect")]
+    pub dialect: String,
+    /// Schema version.
+    #[serde(default = "default_version")]
+    pub version: u32,
+}
+
+fn default_seeds() -> Vec<u64> {
+    vec![1]
+}
+
+fn default_dialect() -> String {
+    "alphafold3".to_owned()
+}
+
+fn default_version() -> u32 {
+    1
+}
+
+/// One entry of the `sequences` array.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub enum SequenceEntry {
+    /// A protein chain.
+    #[serde(rename = "protein")]
+    Protein(PolymerEntry),
+    /// A DNA chain.
+    #[serde(rename = "dna")]
+    Dna(PolymerEntry),
+    /// An RNA chain.
+    #[serde(rename = "rna")]
+    Rna(PolymerEntry),
+    /// A ligand (CCD codes; opaque to the MSA phase).
+    #[serde(rename = "ligand")]
+    Ligand(LigandEntry),
+}
+
+/// `id` may be a single string or a list of copy ids in AF3 inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum OneOrMany {
+    /// A single chain id.
+    One(String),
+    /// Several copies sharing one sequence.
+    Many(Vec<String>),
+}
+
+impl OneOrMany {
+    /// Normalize into a vector of ids.
+    pub fn into_vec(self) -> Vec<String> {
+        match self {
+            OneOrMany::One(s) => vec![s],
+            OneOrMany::Many(v) => v,
+        }
+    }
+}
+
+/// A polymer entry: ids plus residue text.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolymerEntry {
+    /// Chain id(s).
+    pub id: OneOrMany,
+    /// Residue text.
+    pub sequence: String,
+}
+
+/// A ligand entry (CCD chemical component codes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct LigandEntry {
+    /// Chain id(s).
+    pub id: OneOrMany,
+    /// Chemical component dictionary codes.
+    pub ccd_codes: Vec<String>,
+}
+
+/// Parse an AF3 job JSON document into an [`Assembly`].
+///
+/// Ligand entries are currently skipped (they carry no residue sequence and
+/// do not participate in the characterized phases).
+///
+/// # Errors
+///
+/// Returns [`ParseSeqError::Json`] for malformed JSON and the usual
+/// sequence validation errors otherwise.
+pub fn parse_job(json: &str) -> Result<Assembly, ParseSeqError> {
+    let doc: JobDocument =
+        serde_json::from_str(json).map_err(|e| ParseSeqError::Json(e.to_string()))?;
+    assembly_from_document(&doc)
+}
+
+/// Convert a parsed [`JobDocument`] into an [`Assembly`].
+///
+/// # Errors
+///
+/// Propagates sequence validation and duplicate-chain-id errors.
+pub fn assembly_from_document(doc: &JobDocument) -> Result<Assembly, ParseSeqError> {
+    let mut asm = Assembly::new(doc.name.clone());
+    for entry in &doc.sequences {
+        let (kind, polymer) = match entry {
+            SequenceEntry::Protein(p) => (MoleculeKind::Protein, p),
+            SequenceEntry::Dna(p) => (MoleculeKind::Dna, p),
+            SequenceEntry::Rna(p) => (MoleculeKind::Rna, p),
+            SequenceEntry::Ligand(_) => continue,
+        };
+        let ids = polymer.id.clone().into_vec();
+        let primary = ids.first().cloned().unwrap_or_default();
+        let seq = Sequence::parse(primary, kind, &polymer.sequence)?;
+        asm.push(Chain::with_copies(ids, seq))?;
+    }
+    Ok(asm)
+}
+
+/// Serialize an [`Assembly`] into AF3 job JSON.
+///
+/// # Errors
+///
+/// Returns [`ParseSeqError::Json`] if serialization fails (practically
+/// unreachable).
+pub fn to_job_json(asm: &Assembly) -> Result<String, ParseSeqError> {
+    let sequences = asm
+        .chains()
+        .iter()
+        .map(|chain| {
+            let polymer = PolymerEntry {
+                id: if chain.copies() == 1 {
+                    OneOrMany::One(chain.ids()[0].clone())
+                } else {
+                    OneOrMany::Many(chain.ids().to_vec())
+                },
+                sequence: chain.sequence().to_text(),
+            };
+            match chain.kind() {
+                MoleculeKind::Protein => SequenceEntry::Protein(polymer),
+                MoleculeKind::Dna => SequenceEntry::Dna(polymer),
+                MoleculeKind::Rna => SequenceEntry::Rna(polymer),
+                other => panic!("cannot serialize {other} chain"),
+            }
+        })
+        .collect();
+    let doc = JobDocument {
+        name: asm.name().to_owned(),
+        model_seeds: default_seeds(),
+        sequences,
+        dialect: default_dialect(),
+        version: default_version(),
+    };
+    serde_json::to_string_pretty(&doc).map_err(|e| ParseSeqError::Json(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "name": "toy",
+        "modelSeeds": [7],
+        "sequences": [
+            { "protein": { "id": ["A", "B"], "sequence": "MKVL" } },
+            { "dna": { "id": "C", "sequence": "ACGT" } },
+            { "rna": { "id": "R", "sequence": "ACGU" } },
+            { "ligand": { "id": "L", "ccdCodes": ["ATP"] } }
+        ],
+        "dialect": "alphafold3",
+        "version": 1
+    }"#;
+
+    #[test]
+    fn parses_af3_schema() {
+        let asm = parse_job(EXAMPLE).unwrap();
+        assert_eq!(asm.name(), "toy");
+        assert_eq!(asm.entity_count(), 3); // ligand skipped
+        assert_eq!(asm.chain_count(), 4); // A, B, C, R
+        assert_eq!(asm.total_residues(), 4 + 4 + 4 + 4);
+        assert!(asm.contains_kind(MoleculeKind::Rna));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let json = r#"{ "name": "d", "sequences": [
+            { "protein": { "id": "A", "sequence": "MK" } } ] }"#;
+        let doc: JobDocument = serde_json::from_str(json).unwrap();
+        assert_eq!(doc.model_seeds, vec![1]);
+        assert_eq!(doc.dialect, "alphafold3");
+        assert_eq!(doc.version, 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let asm = parse_job(EXAMPLE).unwrap();
+        let json = to_job_json(&asm).unwrap();
+        let back = parse_job(&json).unwrap();
+        assert_eq!(asm, back);
+    }
+
+    #[test]
+    fn bad_json_reported() {
+        let err = parse_job("{ not json").unwrap_err();
+        assert!(matches!(err, ParseSeqError::Json(_)));
+    }
+
+    #[test]
+    fn invalid_residue_reported() {
+        let json = r#"{ "name": "d", "sequences": [
+            { "dna": { "id": "A", "sequence": "ACGU" } } ] }"#;
+        let err = parse_job(json).unwrap_err();
+        assert!(matches!(err, ParseSeqError::InvalidResidue { .. }));
+    }
+}

@@ -1,0 +1,345 @@
+//! The AFSysBench input sample suite (paper Table II).
+//!
+//! Five representative assemblies spanning the paper's complexity range:
+//!
+//! | Sample | Structure              | Complexity | Residues | Characteristic |
+//! |--------|------------------------|------------|----------|----------------|
+//! | 2PV7   | Protein (2 chains)     | Low        | 484      | symmetric multi-chain |
+//! | 7RCE   | Protein (1) + DNA (2)  | Low-Mid    | 306      | mixed-type baseline |
+//! | 1YY9   | Protein (3 chains)     | Mid        | 881      | asymmetric complex |
+//! | promo  | Protein (3) + DNA (2)  | Mid-High   | 857      | poly-Q MSA stress |
+//! | 6QNR   | Protein (9) + RNA (1)  | High       | 1395     | high chain count + RNA |
+//!
+//! The real samples are PDB entries; here each is a deterministic synthetic
+//! assembly with *exactly* the paper's chain composition and total residue
+//! count, and — for `promo` — a planted poly-glutamine repeat that triggers
+//! the low-complexity code path. Fig. 2's RNA length sweep (derived from the
+//! 7K00 ribosome in the paper) is provided by [`rna_length_series`].
+
+use crate::alphabet::MoleculeKind;
+use crate::chain::{Assembly, Chain};
+use crate::generate::{self, rng_for};
+use crate::sequence::Sequence;
+use std::fmt;
+
+/// Identifier of a benchmark sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SampleId {
+    /// 2PV7 — symmetric protein homodimer, 484 residues.
+    S2pv7,
+    /// 7RCE — protein + 2 DNA chains, 306 residues.
+    S7rce,
+    /// 1YY9 — asymmetric 3-chain protein complex, 881 residues.
+    S1yy9,
+    /// promo — 3 proteins (one with poly-Q) + 2 DNA, 857 residues.
+    Promo,
+    /// 6QNR — 9 proteins + 1 RNA, 1395 residues.
+    S6qnr,
+}
+
+impl SampleId {
+    /// All samples in paper order.
+    pub fn all() -> [SampleId; 5] {
+        [
+            SampleId::S2pv7,
+            SampleId::S7rce,
+            SampleId::S1yy9,
+            SampleId::Promo,
+            SampleId::S6qnr,
+        ]
+    }
+
+    /// The four samples used in the thread-scaling figures (Figs. 4 and 6).
+    pub fn scaling_set() -> [SampleId; 4] {
+        [
+            SampleId::S2pv7,
+            SampleId::S7rce,
+            SampleId::S1yy9,
+            SampleId::Promo,
+        ]
+    }
+
+    /// Canonical display name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleId::S2pv7 => "2PV7",
+            SampleId::S7rce => "7RCE",
+            SampleId::S1yy9 => "1YY9",
+            SampleId::Promo => "promo",
+            SampleId::S6qnr => "6QNR",
+        }
+    }
+}
+
+impl fmt::Display for SampleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Qualitative complexity class (Table II column 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ComplexityClass {
+    /// Low.
+    Low,
+    /// Low-Mid.
+    LowMid,
+    /// Mid.
+    Mid,
+    /// Mid-High.
+    MidHigh,
+    /// High.
+    High,
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComplexityClass::Low => "Low",
+            ComplexityClass::LowMid => "Low-Mid",
+            ComplexityClass::Mid => "Mid",
+            ComplexityClass::MidHigh => "Mid-High",
+            ComplexityClass::High => "High",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A benchmark sample: the assembly plus its Table II metadata.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Which sample this is.
+    pub id: SampleId,
+    /// The input assembly.
+    pub assembly: Assembly,
+    /// Complexity class.
+    pub complexity: ComplexityClass,
+    /// Table II "Primary Benchmark Target / Workload Characteristic".
+    pub characteristic: &'static str,
+}
+
+/// Construct a benchmark sample deterministically.
+pub fn sample(id: SampleId) -> Sample {
+    let mut rng = rng_for(&format!("sample:{}", id.name()), 2024);
+    let mut asm = Assembly::new(id.name());
+    let p = MoleculeKind::Protein;
+    match id {
+        SampleId::S2pv7 => {
+            // Symmetric homodimer: one entity, two copies of 242 residues.
+            let seq = generate::background_sequence("2PV7_A", p, 242, &mut rng);
+            asm.push(Chain::with_copies(vec!["A".into(), "B".into()], seq))
+                .expect("fresh assembly");
+        }
+        SampleId::S7rce => {
+            // Protein(1) 250 aa + DNA(2) 28 nt each = 306.
+            let prot = generate::background_sequence("7RCE_A", p, 250, &mut rng);
+            asm.push(Chain::new("A", prot)).expect("fresh assembly");
+            let fwd = generate::background_sequence("7RCE_B", MoleculeKind::Dna, 28, &mut rng);
+            let rev = generate::background_sequence("7RCE_C", MoleculeKind::Dna, 28, &mut rng);
+            asm.push(Chain::new("B", fwd)).expect("fresh assembly");
+            asm.push(Chain::new("C", rev)).expect("fresh assembly");
+        }
+        SampleId::S1yy9 => {
+            // Asymmetric antibody-antigen complex: 224 + 214 + 443 = 881.
+            for (cid, len) in [("A", 224usize), ("B", 214), ("C", 443)] {
+                let seq =
+                    generate::background_sequence(format!("1YY9_{cid}"), p, len, &mut rng);
+                asm.push(Chain::new(cid, seq)).expect("fresh assembly");
+            }
+        }
+        SampleId::Promo => {
+            // Proteins 400 (incl. 64-residue poly-Q) + 200 + 177,
+            // DNA 2 x 40 = 857 total.
+            let base = generate::background_sequence("promo_A", p, 336, &mut rng);
+            let poly_q = generate::insert_homopolymer(&base, 150, 'Q', 64);
+            debug_assert_eq!(poly_q.len(), 400);
+            asm.push(Chain::new("A", poly_q)).expect("fresh assembly");
+            let b = generate::background_sequence("promo_B", p, 200, &mut rng);
+            let c = generate::background_sequence("promo_C", p, 177, &mut rng);
+            asm.push(Chain::new("B", b)).expect("fresh assembly");
+            asm.push(Chain::new("C", c)).expect("fresh assembly");
+            for (cid, l) in [("D", 40usize), ("E", 40)] {
+                let d = generate::background_sequence(
+                    format!("promo_{cid}"),
+                    MoleculeKind::Dna,
+                    l,
+                    &mut rng,
+                );
+                asm.push(Chain::new(cid, d)).expect("fresh assembly");
+            }
+        }
+        SampleId::S6qnr => {
+            // 9 protein chains + 1 RNA chain, 1395 residues total.
+            // Protein lengths sum to 1275; RNA is 120 nt.
+            let lens = [210usize, 195, 180, 165, 150, 135, 120, 65, 55];
+            debug_assert_eq!(lens.iter().sum::<usize>(), 1275);
+            for (i, &len) in lens.iter().enumerate() {
+                let cid = char::from(b'A' + i as u8).to_string();
+                let seq =
+                    generate::background_sequence(format!("6QNR_{cid}"), p, len, &mut rng);
+                asm.push(Chain::new(cid, seq)).expect("fresh assembly");
+            }
+            let rna =
+                generate::background_sequence("6QNR_R", MoleculeKind::Rna, 120, &mut rng);
+            asm.push(Chain::new("R", rna)).expect("fresh assembly");
+        }
+    }
+
+    let (complexity, characteristic) = match id {
+        SampleId::S2pv7 => (
+            ComplexityClass::Low,
+            "Symmetric multi-chain processing",
+        ),
+        SampleId::S7rce => (
+            ComplexityClass::LowMid,
+            "Baseline for mixed-type input",
+        ),
+        SampleId::S1yy9 => (ComplexityClass::Mid, "Asymmetric multi-chain complex"),
+        SampleId::Promo => (
+            ComplexityClass::MidHigh,
+            "MSA pipeline stress with low-complexity sequence",
+        ),
+        SampleId::S6qnr => (
+            ComplexityClass::High,
+            "High chain-count assembly with mixed input types",
+        ),
+    };
+
+    Sample {
+        id,
+        assembly: asm,
+        complexity,
+        characteristic,
+    }
+}
+
+/// The RNA inputs of Fig. 2's memory sweep (lengths derived from the 7K00
+/// ribosomal complex in the paper): 621, 935, 1135 and 1335 nt.
+pub fn rna_length_series() -> Vec<Sequence> {
+    [621usize, 935, 1135, 1335]
+        .iter()
+        .map(|&len| {
+            let mut rng = rng_for(&format!("7k00_rna:{len}"), 7000);
+            generate::background_sequence(
+                format!("7K00_rRNA_{len}"),
+                MoleculeKind::Rna,
+                len,
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// Build an assembly holding a single RNA chain of the given length plus a
+/// small carrier protein (mirrors the paper's §III-C methodology, where
+/// accompanying protein chains had negligible memory impact).
+pub fn rna_memory_probe(rna_len: usize) -> Assembly {
+    let mut rng = rng_for(&format!("rna_probe:{rna_len}"), 7001);
+    let mut asm = Assembly::new(format!("rna_probe_{rna_len}"));
+    let prot = generate::background_sequence("carrier", MoleculeKind::Protein, 150, &mut rng);
+    asm.push(Chain::new("A", prot)).expect("fresh assembly");
+    let rna = generate::background_sequence("rna", MoleculeKind::Rna, rna_len, &mut rng);
+    asm.push(Chain::new("R", rna)).expect("fresh assembly");
+    asm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity;
+
+    #[test]
+    fn residue_counts_match_table_ii() {
+        let expected = [
+            (SampleId::S2pv7, 484),
+            (SampleId::S7rce, 306),
+            (SampleId::S1yy9, 881),
+            (SampleId::Promo, 857),
+            (SampleId::S6qnr, 1395),
+        ];
+        for (id, len) in expected {
+            assert_eq!(sample(id).assembly.total_residues(), len, "{id}");
+        }
+    }
+
+    #[test]
+    fn chain_compositions_match_table_ii() {
+        assert_eq!(
+            sample(SampleId::S2pv7).assembly.composition_summary(),
+            "Protein (2)"
+        );
+        assert_eq!(
+            sample(SampleId::S7rce).assembly.composition_summary(),
+            "Protein (1) + DNA (2)"
+        );
+        assert_eq!(
+            sample(SampleId::S1yy9).assembly.composition_summary(),
+            "Protein (3)"
+        );
+        assert_eq!(
+            sample(SampleId::Promo).assembly.composition_summary(),
+            "Protein (3) + DNA (2)"
+        );
+        assert_eq!(
+            sample(SampleId::S6qnr).assembly.composition_summary(),
+            "Protein (9) + RNA (1)"
+        );
+    }
+
+    #[test]
+    fn promo_has_poly_q_low_complexity() {
+        let s = sample(SampleId::Promo);
+        let chain_a = &s.assembly.chains()[0];
+        let p = complexity::profile(chain_a.sequence());
+        assert!(p.has_low_complexity(), "fraction {}", p.low_complexity_fraction);
+        // Other promo chains are diverse.
+        let chain_b = &s.assembly.chains()[1];
+        assert!(!complexity::profile(chain_b.sequence()).has_low_complexity());
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let a = sample(SampleId::S6qnr);
+        let b = sample(SampleId::S6qnr);
+        assert_eq!(a.assembly, b.assembly);
+    }
+
+    #[test]
+    fn one_yy9_is_diverse_everywhere() {
+        let s = sample(SampleId::S1yy9);
+        for chain in s.assembly.chains() {
+            let p = complexity::profile(chain.sequence());
+            assert!(
+                p.low_complexity_fraction < 0.05,
+                "chain {} fraction {}",
+                chain.ids()[0],
+                p.low_complexity_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn rna_series_lengths() {
+        let series = rna_length_series();
+        let lens: Vec<usize> = series.iter().map(Sequence::len).collect();
+        assert_eq!(lens, vec![621, 935, 1135, 1335]);
+    }
+
+    #[test]
+    fn complexity_ordering_matches_paper() {
+        let cls: Vec<ComplexityClass> = SampleId::all()
+            .iter()
+            .map(|&id| sample(id).complexity)
+            .collect();
+        assert_eq!(
+            cls,
+            vec![
+                ComplexityClass::Low,
+                ComplexityClass::LowMid,
+                ComplexityClass::Mid,
+                ComplexityClass::MidHigh,
+                ComplexityClass::High
+            ]
+        );
+    }
+}

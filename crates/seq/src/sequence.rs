@@ -1,0 +1,212 @@
+//! Typed residue sequences.
+
+use crate::alphabet::{Alphabet, MoleculeKind};
+use crate::ParseSeqError;
+use std::fmt;
+
+/// An identified, alphabet-validated residue sequence.
+///
+/// Residues are stored as compact codes (see [`Alphabet::encode`]); the
+/// original text can be recovered with [`Sequence::to_text`].
+///
+/// ```
+/// use afsb_seq::{Sequence, MoleculeKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = Sequence::parse("q1", MoleculeKind::Protein, "ACDEFGHIKLMNPQRSTVWY")?;
+/// assert_eq!(s.len(), 20);
+/// assert_eq!(s.to_text(), "ACDEFGHIKLMNPQRSTVWY");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sequence {
+    id: String,
+    kind: MoleculeKind,
+    codes: Vec<u8>,
+}
+
+impl Sequence {
+    /// Parse a sequence from text, validating every residue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeqError::Empty`] for an empty string and
+    /// [`ParseSeqError::InvalidResidue`] for characters outside the
+    /// alphabet of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a polymer.
+    pub fn parse(
+        id: impl Into<String>,
+        kind: MoleculeKind,
+        text: &str,
+    ) -> Result<Sequence, ParseSeqError> {
+        if text.is_empty() {
+            return Err(ParseSeqError::Empty);
+        }
+        let alphabet = Alphabet::for_kind(kind);
+        let mut codes = Vec::with_capacity(text.len());
+        for (position, c) in text.chars().enumerate() {
+            match alphabet.encode(c) {
+                Some(code) => codes.push(code),
+                None => {
+                    return Err(ParseSeqError::InvalidResidue {
+                        residue: c,
+                        position,
+                        kind,
+                    })
+                }
+            }
+        }
+        Ok(Sequence {
+            id: id.into(),
+            kind,
+            codes,
+        })
+    }
+
+    /// Build a sequence directly from residue codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds the alphabet's ambiguity code, or if
+    /// `codes` is empty.
+    pub fn from_codes(id: impl Into<String>, kind: MoleculeKind, codes: Vec<u8>) -> Sequence {
+        assert!(!codes.is_empty(), "sequence must be non-empty");
+        let alphabet = Alphabet::for_kind(kind);
+        for &c in &codes {
+            assert!(
+                c <= alphabet.any_code(),
+                "residue code {c} out of range for {kind}"
+            );
+        }
+        Sequence {
+            id: id.into(),
+            kind,
+            codes,
+        }
+    }
+
+    /// The sequence identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The molecule kind.
+    pub fn kind(&self) -> MoleculeKind {
+        self.kind
+    }
+
+    /// The alphabet used by this sequence.
+    pub fn alphabet(&self) -> Alphabet {
+        Alphabet::for_kind(self.kind)
+    }
+
+    /// Residue codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the sequence has no residues (never true for parsed
+    /// sequences).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Recover the textual representation.
+    pub fn to_text(&self) -> String {
+        let alphabet = self.alphabet();
+        self.codes.iter().map(|&c| alphabet.decode(c)).collect()
+    }
+
+    /// A view of a subrange of the sequence (used by windowed nhmmer
+    /// search). The id is annotated with the window coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn window(&self, start: usize, end: usize) -> Sequence {
+        assert!(start < end && end <= self.codes.len(), "invalid window");
+        Sequence {
+            id: format!("{}/{}-{}", self.id, start + 1, end),
+            kind: self.kind,
+            codes: self.codes[start..end].to_vec(),
+        }
+    }
+
+    /// Count of each residue code, length `alphabet.len() + 1` (the last
+    /// slot counts ambiguity codes).
+    pub fn composition(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.alphabet().len() + 1];
+        for &c in &self.codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ">{} ({}, {} aa)", self.id, self.kind, self.codes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let s = Sequence::parse("t", MoleculeKind::Protein, "MKVLA").unwrap();
+        assert_eq!(s.to_text(), "MKVLA");
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let err = Sequence::parse("t", MoleculeKind::Dna, "ACGU").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseSeqError::InvalidResidue { residue: 'U', .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Sequence::parse("t", MoleculeKind::Rna, "").unwrap_err(),
+            ParseSeqError::Empty
+        );
+    }
+
+    #[test]
+    fn window_annotates_id() {
+        let s = Sequence::parse("rna1", MoleculeKind::Rna, "ACGUACGU").unwrap();
+        let w = s.window(2, 6);
+        assert_eq!(w.to_text(), "GUAC");
+        assert_eq!(w.id(), "rna1/3-6");
+    }
+
+    #[test]
+    fn composition_counts() {
+        let s = Sequence::parse("t", MoleculeKind::Dna, "AACGTN").unwrap();
+        let comp = s.composition();
+        assert_eq!(comp[0], 2); // A
+        assert_eq!(comp[4], 1); // ambiguity slot
+        assert_eq!(comp.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window")]
+    fn window_bounds_checked() {
+        let s = Sequence::parse("t", MoleculeKind::Dna, "ACGT").unwrap();
+        let _ = s.window(2, 9);
+    }
+}

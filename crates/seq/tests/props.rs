@@ -1,0 +1,107 @@
+//! Property-based tests for the sequence substrate.
+
+use afsb_seq::alphabet::{Alphabet, MoleculeKind};
+use afsb_seq::chain::{Assembly, Chain};
+use afsb_seq::complexity;
+use afsb_seq::generate;
+use afsb_seq::input;
+use afsb_seq::sequence::Sequence;
+use proptest::prelude::*;
+
+fn protein_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select("ACDEFGHIKLMNPQRSTVWYX".as_bytes().to_vec()),
+        1..300,
+    )
+    .prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+fn rna_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select("ACGUN".as_bytes().to_vec()),
+        1..300,
+    )
+    .prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+proptest! {
+    #[test]
+    fn parse_roundtrips_text(text in protein_text()) {
+        let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
+        prop_assert_eq!(seq.to_text(), text);
+        prop_assert_eq!(seq.len(), seq.to_text().len());
+    }
+
+    #[test]
+    fn encode_decode_identity(code in 0u8..=20) {
+        let a = Alphabet::PROTEIN;
+        let c = a.decode(code);
+        prop_assert_eq!(a.encode(c), Some(code));
+    }
+
+    #[test]
+    fn composition_sums_to_length(text in rna_text()) {
+        let seq = Sequence::parse("r", MoleculeKind::Rna, &text).expect("valid");
+        let total: u64 = seq.composition().iter().sum();
+        prop_assert_eq!(total, seq.len() as u64);
+    }
+
+    #[test]
+    fn windows_preserve_content(text in protein_text(), start in 0usize..100, len in 1usize..50) {
+        let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
+        let start = start % seq.len();
+        let end = (start + len).min(seq.len());
+        prop_assume!(start < end);
+        let w = seq.window(start, end);
+        prop_assert_eq!(w.codes(), &seq.codes()[start..end]);
+    }
+
+    #[test]
+    fn entropy_bounded(text in protein_text()) {
+        let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
+        let p = complexity::profile(&seq);
+        prop_assert!(p.global_entropy >= 0.0);
+        prop_assert!(p.global_entropy <= (21f64).log2() + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p.low_complexity_fraction));
+        // Regions are sorted, disjoint and in range.
+        let mut prev_end = 0;
+        for r in &p.regions {
+            prop_assert!(r.start >= prev_end);
+            prop_assert!(r.end <= seq.len());
+            prop_assert!(!r.is_empty());
+            prev_end = r.end;
+        }
+    }
+
+    #[test]
+    fn homopolymer_insertion_length(text in protein_text(), at_frac in 0.0f64..1.0, count in 1usize..80) {
+        let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
+        let at = ((seq.len() as f64) * at_frac) as usize;
+        let out = generate::insert_homopolymer(&seq, at, 'Q', count);
+        prop_assert_eq!(out.len(), seq.len() + count);
+        // The inserted stretch is all Q.
+        let q = Alphabet::PROTEIN.encode('Q').expect("Q");
+        prop_assert!(out.codes()[at..at + count].iter().all(|&c| c == q));
+    }
+
+    #[test]
+    fn homolog_identity_monotone(seed in 0u64..500) {
+        let mut rng = generate::rng_for("prop", seed);
+        let parent = generate::background_sequence("p", MoleculeKind::Protein, 400, &mut rng);
+        let close = generate::mutate_homolog(&parent, "c", 0.95, 0.0, &mut rng);
+        let far = generate::mutate_homolog(&parent, "f", 0.45, 0.0, &mut rng);
+        let id_close = generate::positional_identity(&parent, &close);
+        let id_far = generate::positional_identity(&parent, &far);
+        prop_assert!(id_close > id_far, "close {} vs far {}", id_close, id_far);
+    }
+
+    #[test]
+    fn af3_json_roundtrip(prot in protein_text(), rna in rna_text()) {
+        let mut asm = Assembly::new("prop");
+        asm.push(Chain::new("A", Sequence::parse("A", MoleculeKind::Protein, &prot).expect("valid"))).expect("push");
+        asm.push(Chain::new("R", Sequence::parse("R", MoleculeKind::Rna, &rna).expect("valid"))).expect("push");
+        let json = input::to_job_json(&asm).expect("serialize");
+        let back = input::parse_job(&json).expect("parse");
+        prop_assert_eq!(asm, back);
+    }
+}

@@ -1,0 +1,287 @@
+//! Set-associative cache model with LRU replacement.
+
+use crate::config::CacheLevelConfig;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been installed.
+    Miss,
+}
+
+/// Running hit/miss statistics for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand hits on prefetched lines (prefetch usefulness).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+    prefetched: bool,
+}
+
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    valid: false,
+    stamp: 0,
+    prefetched: false,
+};
+
+/// A single set-associative cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; the cache indexes by
+/// `(addr / line) % sets` and tags with `addr / line / sets`.
+///
+/// ```
+/// use afsb_simarch::cache::{Cache, Lookup};
+/// use afsb_simarch::config::CacheLevelConfig;
+///
+/// let mut c = Cache::new(CacheLevelConfig { capacity: 4096, ways: 4, line: 64, hit_cycles: 4 });
+/// assert_eq!(c.access(0x100), Lookup::Miss);
+/// assert_eq!(c.access(0x100), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheLevelConfig,
+    sets: usize,
+    set_shift: u32,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Create an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sets or the line size is not a power of two.
+    pub fn new(config: CacheLevelConfig) -> Cache {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        Cache {
+            config,
+            sets,
+            set_shift: config.line.trailing_zeros(),
+            lines: vec![INVALID_LINE; sets * config.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry of this cache.
+    pub fn config(&self) -> &CacheLevelConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.set_shift;
+        let set = (line_addr as usize) & (self.sets - 1);
+        let tag = line_addr >> self.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    /// Demand access: looks up `addr`, installing the line on a miss.
+    pub fn access(&mut self, addr: u64) -> Lookup {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.clock;
+            if line.prefetched {
+                self.stats.prefetch_hits += 1;
+                line.prefetched = false;
+            }
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("cache set has at least one way");
+        *victim = Line {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            prefetched: false,
+        };
+        Lookup::Miss
+    }
+
+    /// Install a line on behalf of the prefetcher (no demand stats).
+    /// Returns `true` if the line was newly installed.
+    pub fn prefetch_fill(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+        if ways.iter().any(|l| l.valid && l.tag == tag) {
+            return false;
+        }
+        self.stats.prefetch_fills += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("cache set has at least one way");
+        *victim = Line {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            prefetched: true,
+        };
+        true
+    }
+
+    /// Whether `addr`'s line is currently resident (no side effects).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Drop all contents and statistics.
+    pub fn reset(&mut self) {
+        self.lines.fill(INVALID_LINE);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheLevelConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheLevelConfig {
+            capacity: 512,
+            ways: 2,
+            line: 64,
+            hit_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), Lookup::Miss);
+        assert_eq!(c.access(0), Lookup::Hit);
+        assert_eq!(c.access(63), Lookup::Hit); // same line
+        assert_eq!(c.access(64), Lookup::Miss); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line stride = 64 * sets = 256.
+        c.access(0);
+        c.access(256);
+        c.access(0); // make 0 MRU
+        c.access(512); // evicts 256 (LRU)
+        assert_eq!(c.access(0), Lookup::Hit);
+        assert_eq!(c.access(256), Lookup::Miss);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = tiny();
+        // 8 lines = full capacity; second pass must be all hits.
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        for i in 0..8u64 {
+            assert_eq!(c.access(i * 64), Lookup::Hit, "line {i}");
+        }
+        assert_eq!(c.stats().misses, 8);
+        assert_eq!(c.stats().hits, 8);
+    }
+
+    #[test]
+    fn streaming_over_capacity_always_misses() {
+        let mut c = tiny();
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                let r = c.access(i * 64);
+                assert_eq!(r, Lookup::Miss, "pass {pass} line {i}");
+            }
+        }
+        assert!((c.stats().miss_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_fill_counts_usefulness() {
+        let mut c = tiny();
+        assert!(c.prefetch_fill(0));
+        assert!(!c.prefetch_fill(0));
+        assert_eq!(c.access(0), Lookup::Hit);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut c = tiny();
+        c.access(128);
+        let before = *c.stats();
+        assert!(c.probe(128));
+        assert!(!c.probe(4096));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses, 0);
+    }
+}

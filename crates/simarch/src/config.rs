@@ -1,0 +1,357 @@
+//! Platform hardware configurations (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Gibibytes helper.
+pub const GIB: u64 = 1 << 30;
+/// Mebibytes helper.
+pub const MIB: u64 = 1 << 20;
+/// Kibibytes helper.
+pub const KIB: u64 = 1 << 10;
+
+/// Which evaluation platform (Table I column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel Xeon Gold 5416S + NVIDIA H100 server.
+    Server,
+    /// AMD Ryzen 9 7900X + NVIDIA RTX 4080 desktop.
+    Desktop,
+}
+
+impl Platform {
+    /// Both platforms in paper order.
+    pub fn all() -> [Platform; 2] {
+        [Platform::Server, Platform::Desktop]
+    }
+
+    /// The full hardware spec for this platform.
+    pub fn spec(self) -> PlatformSpec {
+        match self {
+            Platform::Server => PlatformSpec::server(),
+            Platform::Desktop => PlatformSpec::desktop(),
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Server => f.write_str("Server"),
+            Platform::Desktop => f.write_str("Desktop"),
+        }
+    }
+}
+
+/// One cache level's geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in core cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `ways * line`).
+    pub fn sets(&self) -> usize {
+        let sets = self.capacity as usize / (self.ways * self.line);
+        assert!(sets > 0, "cache must have at least one set");
+        sets
+    }
+}
+
+/// Data-TLB configuration (two levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 dTLB entries.
+    pub l1_entries: usize,
+    /// L2 (unified/STLB) entries.
+    pub l2_entries: usize,
+    /// Page-walk penalty in cycles on an STLB miss.
+    pub walk_cycles: u64,
+    /// Effective page size in bytes. The Xeon runs transparent huge pages
+    /// on these allocations (2 MiB reach — the paper's near-zero Intel
+    /// dTLB misses); the Ryzen is modelled at 4 KiB.
+    pub page_bytes: u64,
+}
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads (SMT).
+    pub threads: usize,
+    /// Base clock (GHz).
+    pub base_ghz: f64,
+    /// Max boost clock (GHz) — used at low thread counts.
+    pub max_ghz: f64,
+    /// Clock at all-core load (GHz).
+    pub allcore_ghz: f64,
+    /// Peak sustainable IPC for the integer/DP-heavy MSA kernels when
+    /// nothing stalls.
+    pub peak_ipc: f64,
+    /// Branch misprediction flush penalty (cycles).
+    pub mispredict_cycles: u64,
+    /// Fraction of a memory-level-parallel window that overlaps miss
+    /// latency (0 = fully exposed, 1 = fully hidden).
+    pub mlp_overlap: f64,
+}
+
+impl CoreConfig {
+    /// Effective clock for `threads` active software threads: boost clock
+    /// while few cores are busy, decaying toward the all-core clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn clock_ghz(&self, threads: usize) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let load = (threads as f64 / self.cores as f64).min(1.0);
+        self.max_ghz - (self.max_ghz - self.allcore_ghz) * load
+    }
+}
+
+/// Main-memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// DRAM capacity in bytes.
+    pub dram_bytes: u64,
+    /// Optional CXL expander capacity in bytes (Server only).
+    pub cxl_bytes: u64,
+    /// DRAM load-to-use latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Extra latency of the CXL tier in nanoseconds.
+    pub cxl_extra_ns: f64,
+    /// Peak DRAM bandwidth in GiB/s.
+    pub bandwidth_gibs: f64,
+}
+
+/// NVMe storage configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// Sustained sequential read bandwidth (GiB/s).
+    pub seq_read_gibs: f64,
+    /// Device service latency floor (ms) for a queued 128 KiB read.
+    pub base_latency_ms: f64,
+    /// Maximum internal parallelism (effective queue slots).
+    pub queue_depth: usize,
+}
+
+/// A complete platform: CPU, caches, TLB, memory, storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Which platform this is.
+    pub platform: Platform,
+    /// Marketing name, for reports.
+    pub cpu_name: &'static str,
+    /// Core/thread/clock config.
+    pub core: CoreConfig,
+    /// Per-core L1D.
+    pub l1d: CacheLevelConfig,
+    /// Per-core L2.
+    pub l2: CacheLevelConfig,
+    /// Shared last-level cache.
+    pub llc: CacheLevelConfig,
+    /// Data TLB.
+    pub tlb: TlbConfig,
+    /// DRAM and CXL.
+    pub memory: MemoryConfig,
+    /// NVMe storage.
+    pub storage: StorageConfig,
+    /// GPU marketing name (device model lives in `afsb-gpu`).
+    pub gpu_name: &'static str,
+}
+
+impl PlatformSpec {
+    /// Intel Xeon Gold 5416S server: 16C/32T, 2.0/4.0 GHz, 30 MiB shared
+    /// LLC, DDR5-4400 512 GiB (+256 GiB CXL), H100 80 GB.
+    ///
+    /// The Xeon is modelled *compute-centric* (paper §V-B2a): higher peak
+    /// IPC, strong address translation (large STLB + effectively negligible
+    /// walk exposure), but a small LLC that large scans overwhelm.
+    pub fn server() -> PlatformSpec {
+        PlatformSpec {
+            platform: Platform::Server,
+            cpu_name: "Intel Xeon Gold 5416S",
+            core: CoreConfig {
+                cores: 16,
+                threads: 32,
+                base_ghz: 2.0,
+                max_ghz: 4.0,
+                allcore_ghz: 2.8,
+                peak_ipc: 4.1,
+                mispredict_cycles: 17,
+                mlp_overlap: 0.80,
+            },
+            l1d: CacheLevelConfig {
+                capacity: 48 * KIB,
+                ways: 12,
+                line: 64,
+                hit_cycles: 5,
+            },
+            l2: CacheLevelConfig {
+                capacity: 2 * MIB,
+                ways: 16,
+                line: 64,
+                hit_cycles: 15,
+            },
+            llc: CacheLevelConfig {
+                capacity: 30 * MIB,
+                ways: 15,
+                line: 64,
+                hit_cycles: 48,
+            },
+            tlb: TlbConfig {
+                l1_entries: 96,
+                l2_entries: 2048,
+                walk_cycles: 60,
+                page_bytes: 2 << 20,
+            },
+            memory: MemoryConfig {
+                dram_bytes: 512 * GIB,
+                cxl_bytes: 256 * GIB,
+                latency_ns: 105.0,
+                cxl_extra_ns: 180.0,
+                bandwidth_gibs: 65.0,
+            },
+            storage: StorageConfig {
+                seq_read_gibs: 6.8,
+                base_latency_ms: 0.08,
+                queue_depth: 64,
+            },
+            gpu_name: "NVIDIA H100 80GB",
+        }
+    }
+
+    /// AMD Ryzen 9 7900X desktop: 12C/24T, 4.7/5.6 GHz, 64 MiB shared LLC,
+    /// DDR5-6000 64 GiB, RTX 4080 16 GB.
+    ///
+    /// The Ryzen is modelled *memory-centric* (paper §V-B2a): big effective
+    /// LLC and high clock, but a smaller dTLB whose misses are exposed, and
+    /// lower peak IPC on these kernels.
+    pub fn desktop() -> PlatformSpec {
+        PlatformSpec {
+            platform: Platform::Desktop,
+            cpu_name: "AMD Ryzen 9 7900X",
+            core: CoreConfig {
+                cores: 12,
+                threads: 24,
+                base_ghz: 4.7,
+                max_ghz: 5.6,
+                allcore_ghz: 5.0,
+                peak_ipc: 3.4,
+                mispredict_cycles: 13,
+                mlp_overlap: 0.72,
+            },
+            l1d: CacheLevelConfig {
+                capacity: 32 * KIB,
+                ways: 8,
+                line: 64,
+                hit_cycles: 4,
+            },
+            l2: CacheLevelConfig {
+                capacity: 1 * MIB,
+                ways: 8,
+                line: 64,
+                hit_cycles: 14,
+            },
+            llc: CacheLevelConfig {
+                capacity: 64 * MIB,
+                ways: 16,
+                line: 64,
+                hit_cycles: 50,
+            },
+            tlb: TlbConfig {
+                l1_entries: 72,
+                l2_entries: 6144,
+                walk_cycles: 90,
+                page_bytes: 4096,
+            },
+            memory: MemoryConfig {
+                dram_bytes: 64 * GIB,
+                cxl_bytes: 0,
+                latency_ns: 78.0,
+                cxl_extra_ns: 0.0,
+                bandwidth_gibs: 72.0,
+            },
+            storage: StorageConfig {
+                seq_read_gibs: 7.0,
+                base_latency_ms: 0.07,
+                queue_depth: 64,
+            },
+            gpu_name: "NVIDIA RTX 4080 16GB",
+        }
+    }
+
+    /// Total byte capacity including the CXL tier.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.memory.dram_bytes + self.memory.cxl_bytes
+    }
+
+    /// DRAM access penalty in core cycles at the given active thread count.
+    pub fn dram_cycles(&self, threads: usize) -> u64 {
+        (self.memory.latency_ns * self.core.clock_ghz(threads)).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_headline_numbers() {
+        let s = PlatformSpec::server();
+        assert_eq!(s.core.cores, 16);
+        assert_eq!(s.core.threads, 32);
+        assert_eq!(s.llc.capacity, 30 * MIB);
+        assert_eq!(s.memory.dram_bytes, 512 * GIB);
+        assert_eq!(s.memory.cxl_bytes, 256 * GIB);
+        let d = PlatformSpec::desktop();
+        assert_eq!(d.core.cores, 12);
+        assert_eq!(d.llc.capacity, 64 * MIB);
+        assert_eq!(d.memory.dram_bytes, 64 * GIB);
+        assert_eq!(d.memory.cxl_bytes, 0);
+    }
+
+    #[test]
+    fn clock_decays_with_load() {
+        let s = PlatformSpec::server();
+        assert!(s.core.clock_ghz(1) > s.core.clock_ghz(16));
+        assert!((s.core.clock_ghz(1) - 4.0).abs() < 0.2);
+        // Desktop clocks strictly higher at every load (paper Observation 1
+        // driver).
+        let d = PlatformSpec::desktop();
+        for t in [1, 4, 8, 12] {
+            assert!(d.core.clock_ghz(t) > s.core.clock_ghz(t));
+        }
+    }
+
+    #[test]
+    fn cache_geometry_consistent() {
+        for spec in [PlatformSpec::server(), PlatformSpec::desktop()] {
+            for level in [spec.l1d, spec.l2, spec.llc] {
+                assert!(level.sets().is_power_of_two(), "{level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dram_cycles_scale_with_clock() {
+        let s = PlatformSpec::server();
+        let d = PlatformSpec::desktop();
+        // AMD's higher clock makes the *cycle* cost of DRAM higher even
+        // though its ns latency is lower.
+        assert!(d.dram_cycles(1) > s.dram_cycles(1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Architecture simulation substrate for AFSysBench-RS.
+//!
+//! The paper characterizes the AF3 MSA phase with hardware performance
+//! counters (`perf`, AMD uProf) on two platforms — an Intel Xeon Gold 5416S
+//! server and an AMD Ryzen 7900X desktop (Table I). Reproducing those
+//! measurements without the hardware requires a model of the parts of the
+//! machine the paper's analysis hinges on:
+//!
+//! - a set-associative, multi-level [`cache`] hierarchy with per-core
+//!   private levels and a *shared* last-level cache (capacity contention is
+//!   the paper's main thread-scaling limiter — Observation 4),
+//! - a next-line/stream [`prefetch`]er (regular poly-Q access patterns are
+//!   prefetch-friendly, §V-B2a),
+//! - a two-level data [`tlb`] (AMD's dTLB pressure vs Intel's negligible
+//!   misses, Table III),
+//! - a bimodal/gshare [`branch`] predictor,
+//! - a cycle-accounting [`engine`] that replays per-thread access traces and
+//!   attributes cycles and misses to function symbols (Table IV), with a
+//!   DRAM bandwidth-contention model,
+//! - DRAM/CXL capacity and page-cache models in [`memory`] (Fig. 2 OOM
+//!   behaviour, CXL expansion tier), and
+//! - an NVMe [`storage`] model producing `iostat`-style utilization and
+//!   latency (§V-B2c).
+//!
+//! Workloads do not run *on* the simulator instruction-by-instruction;
+//! instead the (real, executed) workload kernels report work descriptors
+//! that [`trace`] turns into representative memory-access streams, which the
+//! engine replays against the modelled hierarchy. See `DESIGN.md` §3.
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod perf;
+pub mod prefetch;
+pub mod storage;
+pub mod tlb;
+pub mod trace;
+
+pub use config::{Platform, PlatformSpec};
+pub use engine::{SimEngine, SimResult};
+pub use perf::{PerfReport, SymbolStats};
+pub use trace::{AccessPattern, Segment, SymbolId, ThreadProgram};

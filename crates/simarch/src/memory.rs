@@ -1,0 +1,270 @@
+//! Memory capacity, CXL tiering and page-cache models.
+//!
+//! The paper's Fig. 2 shows nhmmer's peak memory racing past DRAM capacity
+//! on long RNA inputs — the 1,135-nt input completed *only* with the
+//! server's 256 GiB CXL expander, and the 1,335-nt input OOM-failed even
+//! with it. AF3 performs no static admission check (§III-C), so the
+//! process dies mid-run. This module models exactly that: a capacity check
+//! with an optional CXL tier, plus the page-cache residency model behind
+//! the server-vs-desktop storage behaviour of §V-B2c.
+
+use crate::config::PlatformSpec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where an allocation would land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryTier {
+    /// Entirely in local DRAM.
+    Dram,
+    /// Spills into the CXL expander (slower, but completes).
+    CxlExpanded,
+}
+
+/// Outcome of an admission check for a projected peak allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionOutcome {
+    /// The workload fits.
+    Fits {
+        /// Which tier the peak lands in.
+        tier: MemoryTier,
+        /// Peak bytes requested.
+        peak_bytes: u64,
+    },
+    /// The workload exceeds all available memory: the process would be
+    /// OOM-killed mid-run (AF3 has no pre-check).
+    OutOfMemory {
+        /// Peak bytes requested.
+        peak_bytes: u64,
+        /// Total capacity including CXL.
+        capacity_bytes: u64,
+    },
+}
+
+impl AdmissionOutcome {
+    /// Whether the run completes.
+    pub fn completes(&self) -> bool {
+        matches!(self, AdmissionOutcome::Fits { .. })
+    }
+}
+
+impl fmt::Display for AdmissionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionOutcome::Fits { tier, peak_bytes } => write!(
+                f,
+                "fits in {} ({:.1} GiB peak)",
+                match tier {
+                    MemoryTier::Dram => "DRAM",
+                    MemoryTier::CxlExpanded => "DRAM+CXL",
+                },
+                *peak_bytes as f64 / (1u64 << 30) as f64
+            ),
+            AdmissionOutcome::OutOfMemory {
+                peak_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "OOM: {:.1} GiB peak exceeds {:.1} GiB capacity",
+                *peak_bytes as f64 / (1u64 << 30) as f64,
+                *capacity_bytes as f64 / (1u64 << 30) as f64
+            ),
+        }
+    }
+}
+
+/// Capacity model for one platform.
+#[derive(Debug, Clone)]
+pub struct CapacityModel {
+    dram_bytes: u64,
+    cxl_bytes: u64,
+    /// Bytes reserved for OS + other processes.
+    reserved_bytes: u64,
+    cxl_enabled: bool,
+}
+
+impl CapacityModel {
+    /// Build from a platform spec with the CXL tier enabled if present.
+    pub fn new(spec: &PlatformSpec) -> CapacityModel {
+        CapacityModel {
+            dram_bytes: spec.memory.dram_bytes,
+            cxl_bytes: spec.memory.cxl_bytes,
+            reserved_bytes: 4 << 30,
+            cxl_enabled: spec.memory.cxl_bytes > 0,
+        }
+    }
+
+    /// Disable the CXL tier (the paper enables it only for §III-C).
+    pub fn without_cxl(mut self) -> CapacityModel {
+        self.cxl_enabled = false;
+        self
+    }
+
+    /// Usable DRAM bytes (after OS reservation).
+    pub fn usable_dram(&self) -> u64 {
+        self.dram_bytes.saturating_sub(self.reserved_bytes)
+    }
+
+    /// Total usable bytes including CXL when enabled.
+    pub fn usable_total(&self) -> u64 {
+        self.usable_dram() + if self.cxl_enabled { self.cxl_bytes } else { 0 }
+    }
+
+    /// Check whether a projected peak fits.
+    pub fn admit(&self, peak_bytes: u64) -> AdmissionOutcome {
+        if peak_bytes <= self.usable_dram() {
+            AdmissionOutcome::Fits {
+                tier: MemoryTier::Dram,
+                peak_bytes,
+            }
+        } else if peak_bytes <= self.usable_total() {
+            AdmissionOutcome::Fits {
+                tier: MemoryTier::CxlExpanded,
+                peak_bytes,
+            }
+        } else {
+            AdmissionOutcome::OutOfMemory {
+                peak_bytes,
+                capacity_bytes: self.usable_total(),
+            }
+        }
+    }
+
+    /// Bytes left over for the OS page cache after the workload's resident
+    /// set is accounted (never negative).
+    pub fn page_cache_budget(&self, workload_resident: u64) -> u64 {
+        self.usable_dram().saturating_sub(workload_resident)
+    }
+}
+
+/// Page-cache residency model over named files (databases).
+///
+/// Residency is fair-share: if all registered files fit in the budget, all
+/// are fully cached (the Server case — 512 GiB keeps every database warm);
+/// otherwise each file is resident proportionally (the Desktop case — 64
+/// GiB cannot hold the databases, forcing disk reads every scan).
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    budget_bytes: u64,
+    files: HashMap<String, u64>,
+}
+
+impl PageCache {
+    /// Create a cache with the given budget.
+    pub fn new(budget_bytes: u64) -> PageCache {
+        PageCache {
+            budget_bytes,
+            files: HashMap::new(),
+        }
+    }
+
+    /// Register a file that workloads will scan.
+    pub fn register(&mut self, name: impl Into<String>, bytes: u64) {
+        self.files.insert(name.into(), bytes);
+    }
+
+    /// Total bytes of registered files.
+    pub fn registered_bytes(&self) -> u64 {
+        self.files.values().sum()
+    }
+
+    /// Fraction of `name` resident in cache, in `[0, 1]`.
+    ///
+    /// Unregistered files are entirely cold (0.0).
+    pub fn resident_fraction(&self, name: &str) -> f64 {
+        let Some(&bytes) = self.files.get(name) else {
+            return 0.0;
+        };
+        if bytes == 0 {
+            return 1.0;
+        }
+        let total = self.registered_bytes();
+        if total <= self.budget_bytes {
+            1.0
+        } else {
+            (self.budget_bytes as f64 / total as f64).min(1.0)
+        }
+    }
+
+    /// Bytes of `name` that must come from disk on a full scan.
+    pub fn cold_bytes(&self, name: &str) -> u64 {
+        let bytes = self.files.get(name).copied().unwrap_or(0);
+        let miss = 1.0 - self.resident_fraction(name);
+        (bytes as f64 * miss).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PlatformSpec, GIB};
+
+    #[test]
+    fn server_fits_fig2_points_desktop_does_not() {
+        let server = CapacityModel::new(&PlatformSpec::server());
+        let desktop = CapacityModel::new(&PlatformSpec::desktop());
+        // 79.3 GiB (621 nt): fits server DRAM, not desktop (64 GiB).
+        let p79 = (79.3 * GIB as f64) as u64;
+        assert!(matches!(
+            server.admit(p79),
+            AdmissionOutcome::Fits {
+                tier: MemoryTier::Dram,
+                ..
+            }
+        ));
+        assert!(!desktop.admit(p79).completes());
+        // 644 GiB (1,135 nt): needs the CXL tier.
+        let p644 = 644 * GIB;
+        assert!(matches!(
+            server.admit(p644),
+            AdmissionOutcome::Fits {
+                tier: MemoryTier::CxlExpanded,
+                ..
+            }
+        ));
+        assert!(!server.clone().without_cxl().admit(p644).completes());
+        // >768 GiB (1,335 nt): OOM even with CXL.
+        assert!(!server.admit(800 * GIB).completes());
+    }
+
+    #[test]
+    fn admission_boundaries() {
+        let m = CapacityModel::new(&PlatformSpec::server());
+        assert!(m.admit(m.usable_dram()).completes());
+        assert!(m.admit(m.usable_total()).completes());
+        assert!(!m.admit(m.usable_total() + 1).completes());
+    }
+
+    #[test]
+    fn page_cache_full_residency_when_fits() {
+        let mut pc = PageCache::new(500 * GIB);
+        pc.register("uniref90", 67 * GIB);
+        pc.register("nt_rna", 89 * GIB);
+        assert_eq!(pc.resident_fraction("uniref90"), 1.0);
+        assert_eq!(pc.cold_bytes("nt_rna"), 0);
+    }
+
+    #[test]
+    fn page_cache_proportional_when_oversubscribed() {
+        let mut pc = PageCache::new(50 * GIB);
+        pc.register("uniref90", 67 * GIB);
+        pc.register("mgnify", 120 * GIB);
+        let f = pc.resident_fraction("uniref90");
+        assert!(f > 0.2 && f < 0.35, "fraction {f}");
+        assert!(pc.cold_bytes("mgnify") > 70 * GIB);
+    }
+
+    #[test]
+    fn unregistered_file_is_cold() {
+        let pc = PageCache::new(GIB);
+        assert_eq!(pc.resident_fraction("nope"), 0.0);
+        assert_eq!(pc.cold_bytes("nope"), 0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let m = CapacityModel::new(&PlatformSpec::desktop());
+        let s = m.admit(500 * GIB).to_string();
+        assert!(s.contains("OOM"), "{s}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-head scaled-dot-product attention with optional logit bias.
+//!
+//! The bias path is load-bearing for AF3: triangle attention biases the
+//! logits with the pair representation's "third edge", and Pairformer's
+//! single-representation attention is pair-biased too.
+
+use crate::nn::{softmax, Linear};
+use crate::tensor::Tensor;
+
+/// Multi-head attention over `[rows, dim]` inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHeadAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    o: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Build an attention block.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dim` is divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, seed: u64) -> MultiHeadAttention {
+        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        MultiHeadAttention {
+            q: Linear::new_no_bias(dim, dim, seed),
+            k: Linear::new_no_bias(dim, dim, seed ^ 0x1111),
+            v: Linear::new_no_bias(dim, dim, seed ^ 0x2222),
+            o: Linear::new_no_bias(dim, dim, seed ^ 0x3333),
+            heads,
+            dim,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Parameter count.
+    pub fn params(&self) -> usize {
+        self.q.params() + self.k.params() + self.v.params() + self.o.params()
+    }
+
+    /// Attend `queries [n, dim]` over `keys/values [m, dim]`.
+    ///
+    /// `bias`, when given, must be `[heads, n, m]` and is added to the
+    /// pre-softmax logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches.
+    pub fn forward(&self, queries: &Tensor, keys_values: &Tensor, bias: Option<&Tensor>) -> Tensor {
+        assert_eq!(queries.shape().rank(), 2, "queries must be [n, dim]");
+        assert_eq!(keys_values.shape().rank(), 2, "keys/values must be [m, dim]");
+        let n = queries.dims()[0];
+        let m = keys_values.dims()[0];
+        assert_eq!(queries.dims()[1], self.dim, "query dim mismatch");
+        assert_eq!(keys_values.dims()[1], self.dim, "key dim mismatch");
+        if let Some(b) = bias {
+            assert_eq!(b.dims(), &[self.heads, n, m], "bias must be [heads, n, m]");
+        }
+
+        let q = self.q.forward(queries);
+        let k = self.k.forward(keys_values);
+        let v = self.v.forward(keys_values);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut merged = Tensor::zeros(vec![n, self.dim]);
+        for h in 0..self.heads {
+            let h_off = h * self.head_dim;
+            // Logits [n, m] for this head.
+            let mut logits = Tensor::zeros(vec![n, m]);
+            for i in 0..n {
+                for j in 0..m {
+                    let mut dot = 0.0;
+                    for d in 0..self.head_dim {
+                        dot += q.data()[i * self.dim + h_off + d]
+                            * k.data()[j * self.dim + h_off + d];
+                    }
+                    let mut logit = dot * scale;
+                    if let Some(b) = bias {
+                        logit += b.data()[(h * n + i) * m + j];
+                    }
+                    logits.data_mut()[i * m + j] = logit;
+                }
+            }
+            let weights = softmax(&logits);
+            for i in 0..n {
+                for j in 0..m {
+                    let w = weights.data()[i * m + j];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for d in 0..self.head_dim {
+                        merged.data_mut()[i * self.dim + h_off + d] +=
+                            w * v.data()[j * self.dim + h_off + d];
+                    }
+                }
+            }
+        }
+        self.o.forward(&merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_queries() {
+        let attn = MultiHeadAttention::new(16, 4, 1);
+        let q = Tensor::randn(vec![5, 16], 2);
+        let kv = Tensor::randn(vec![9, 16], 3);
+        let y = attn.forward(&q, &kv, None);
+        assert_eq!(y.dims(), &[5, 16]);
+    }
+
+    #[test]
+    fn self_attention_is_permutation_equivariant_without_bias() {
+        // Swapping two key/value rows must not change outputs (softmax sums
+        // are order-free).
+        let attn = MultiHeadAttention::new(8, 2, 4);
+        let q = Tensor::randn(vec![3, 8], 5);
+        let kv = Tensor::randn(vec![4, 8], 6);
+        let y1 = attn.forward(&q, &kv, None);
+        // Permute kv rows 0 and 2.
+        let mut data = kv.data().to_vec();
+        for d in 0..8 {
+            data.swap(d, 2 * 8 + d);
+        }
+        let kv_p = Tensor::from_vec(vec![4, 8], data);
+        let y2 = attn.forward(&q, &kv_p, None);
+        assert!(y1.approx_eq(&y2, 1e-4));
+    }
+
+    #[test]
+    fn strong_bias_steers_attention() {
+        let attn = MultiHeadAttention::new(8, 1, 7);
+        let q = Tensor::randn(vec![1, 8], 8);
+        let kv = Tensor::randn(vec![3, 8], 9);
+        // Bias hugely toward key 2.
+        let mut bias = Tensor::full(vec![1, 1, 3], -30.0);
+        bias.set(&[0, 0, 2], 30.0);
+        let y = attn.forward(&q, &kv, Some(&bias));
+        // Compare against attending only to row 2.
+        let kv_row2 = Tensor::from_vec(vec![1, 8], kv.data()[16..24].to_vec());
+        let y_only = attn.forward(&q, &kv_row2, None);
+        assert!(y.approx_eq(&y_only, 1e-3));
+    }
+
+    #[test]
+    fn deterministic() {
+        let attn = MultiHeadAttention::new(8, 2, 10);
+        let q = Tensor::randn(vec![2, 8], 11);
+        let kv = Tensor::randn(vec![2, 8], 12);
+        assert_eq!(attn.forward(&q, &kv, None), attn.forward(&q, &kv, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be")]
+    fn bias_shape_checked() {
+        let attn = MultiHeadAttention::new(8, 2, 13);
+        let q = Tensor::randn(vec![2, 8], 14);
+        let kv = Tensor::randn(vec![3, 8], 15);
+        let bias = Tensor::zeros(vec![2, 2, 2]);
+        let _ = attn.forward(&q, &kv, Some(&bias));
+    }
+}

@@ -1,0 +1,167 @@
+//! FLOP/byte cost accounting for model layers.
+//!
+//! Layers record a [`KernelCost`] per logical GPU kernel they would launch
+//! at *paper-scale* tensor dimensions. The `afsb-gpu` roofline model turns
+//! each record into device time; Table VI and Fig. 9 are aggregations of
+//! these records by layer label.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The cost of one logical kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCost {
+    /// Layer label (e.g. `pairformer/triangle_attention`).
+    pub label: String,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+    /// Number of kernel launches this record stands for.
+    pub launches: u64,
+}
+
+/// An append-only log of kernel costs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostLog {
+    entries: Vec<KernelCost>,
+}
+
+impl CostLog {
+    /// Create an empty log.
+    pub fn new() -> CostLog {
+        CostLog::default()
+    }
+
+    /// Record one kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flops` or `bytes` is negative or `launches == 0`.
+    pub fn record(&mut self, label: impl Into<String>, flops: f64, bytes: f64, launches: u64) {
+        assert!(flops >= 0.0 && bytes >= 0.0, "costs must be non-negative");
+        assert!(launches > 0, "at least one launch");
+        self.entries.push(KernelCost {
+            label: label.into(),
+            flops,
+            bytes,
+            launches,
+        });
+    }
+
+    /// All entries in record order.
+    pub fn entries(&self) -> &[KernelCost] {
+        &self.entries
+    }
+
+    /// Total FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.entries.iter().map(|e| e.flops).sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total launches.
+    pub fn total_launches(&self) -> u64 {
+        self.entries.iter().map(|e| e.launches).sum()
+    }
+
+    /// Aggregate (flops, bytes, launches) by label.
+    pub fn by_label(&self) -> BTreeMap<String, (f64, f64, u64)> {
+        let mut map: BTreeMap<String, (f64, f64, u64)> = BTreeMap::new();
+        for e in &self.entries {
+            let slot = map.entry(e.label.clone()).or_insert((0.0, 0.0, 0));
+            slot.0 += e.flops;
+            slot.1 += e.bytes;
+            slot.2 += e.launches;
+        }
+        map
+    }
+
+    /// Merge another log's entries into this one.
+    pub fn extend(&mut self, other: &CostLog) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+}
+
+impl fmt::Display for CostLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>12} {:>12} {:>8}",
+            "Kernel", "GFLOP", "GiB", "Launches"
+        )?;
+        for (label, (flops, bytes, launches)) in self.by_label() {
+            writeln!(
+                f,
+                "{:<44} {:>12.3} {:>12.3} {:>8}",
+                label,
+                flops / 1e9,
+                bytes / (1u64 << 30) as f64,
+                launches
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// FLOPs of a dense `[m,k] @ [k,n]` matmul.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+/// Bytes touched by a dense matmul with `f32`/`bf16`-ish 2-byte activations
+/// read once and written once (a roofline lower bound).
+pub fn matmul_bytes(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut log = CostLog::new();
+        log.record("a", 100.0, 10.0, 1);
+        log.record("b", 200.0, 20.0, 2);
+        log.record("a", 50.0, 5.0, 1);
+        assert_eq!(log.total_flops(), 350.0);
+        assert_eq!(log.total_bytes(), 35.0);
+        assert_eq!(log.total_launches(), 4);
+    }
+
+    #[test]
+    fn by_label_groups() {
+        let mut log = CostLog::new();
+        log.record("x", 1.0, 1.0, 1);
+        log.record("x", 2.0, 2.0, 3);
+        let groups = log.by_label();
+        assert_eq!(groups["x"], (3.0, 3.0, 4));
+    }
+
+    #[test]
+    fn matmul_cost_formulas() {
+        assert_eq!(matmul_flops(2, 3, 4), 48.0);
+        assert_eq!(matmul_bytes(2, 3, 4), 2.0 * (6.0 + 12.0 + 8.0));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = CostLog::new();
+        a.record("x", 1.0, 1.0, 1);
+        let mut b = CostLog::new();
+        b.record("y", 2.0, 2.0, 1);
+        a.extend(&b);
+        assert_eq!(a.entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        CostLog::new().record("bad", -1.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Minimal dense `f32` tensor library for the AF3 model substrate.
+//!
+//! AlphaFold3's inference modules (Pairformer, Diffusion) are built from a
+//! small set of primitives — linear projections, layer norm, softmax
+//! attention, element-wise gating — over rank-2/3/4 tensors. This crate
+//! implements exactly those, CPU-only and dependency-free, plus a
+//! [`cost::CostLog`] that records the FLOPs and bytes each layer would
+//! execute at *paper scale*; the GPU roofline model in `afsb-gpu` prices
+//! those records on an H100 or RTX 4080.
+//!
+//! # Example
+//!
+//! ```
+//! use afsb_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod attention;
+pub mod cost;
+pub mod nn;
+pub mod shape;
+pub mod tensor;
+
+pub use cost::{CostLog, KernelCost};
+pub use shape::Shape;
+pub use tensor::Tensor;

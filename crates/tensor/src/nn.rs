@@ -1,0 +1,229 @@
+//! Neural-network primitives: linear layers, layer norm, softmax,
+//! activations.
+
+use crate::tensor::Tensor;
+
+/// A dense linear layer `y = x W + b` applied over the last dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Seeded random-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Linear {
+        Linear {
+            weight: Tensor::randn(vec![in_dim, out_dim], seed),
+            bias: Some(Tensor::zeros(vec![out_dim])),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Layer without a bias term (AF3 uses bias-free projections widely).
+    pub fn new_no_bias(in_dim: usize, out_dim: usize, seed: u64) -> Linear {
+        Linear {
+            bias: None,
+            ..Linear::new(in_dim, out_dim, seed)
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter count.
+    pub fn params(&self) -> usize {
+        self.in_dim * self.out_dim + if self.bias.is_some() { self.out_dim } else { 0 }
+    }
+
+    /// Apply over the last dimension of an arbitrary-rank input: the input
+    /// is treated as `[rows, in_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last dimension differs from `in_dim`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let dims = x.dims();
+        let last = *dims.last().expect("non-empty shape");
+        assert_eq!(last, self.in_dim, "input feature dim mismatch");
+        let rows = x.shape().numel() / last;
+        let flat = x.clone().reshape(vec![rows, last]);
+        let mut y = flat.matmul(&self.weight);
+        if let Some(bias) = &self.bias {
+            let b = bias.data();
+            for row in y.data_mut().chunks_mut(self.out_dim) {
+                for (v, &bv) in row.iter_mut().zip(b) {
+                    *v += bv;
+                }
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        *out_dims.last_mut().expect("non-empty") = self.out_dim;
+        y.reshape(out_dims)
+    }
+}
+
+/// Layer normalization over the last dimension (learned scale/offset
+/// omitted: identity affine, as initialization would make them).
+pub fn layer_norm(x: &Tensor) -> Tensor {
+    let last = *x.dims().last().expect("non-empty shape");
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(last) {
+        let n = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax(x: &Tensor) -> Tensor {
+    let last = *x.dims().last().expect("non-empty shape");
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(last) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// SwiGLU-ish swish activation `x * sigmoid(x)`.
+pub fn swish(x: &Tensor) -> Tensor {
+    x.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// A two-layer transition block (`Linear → swish → Linear`), the MLP used
+/// throughout Pairformer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    up: Linear,
+    down: Linear,
+}
+
+impl Transition {
+    /// Build with an expansion factor (AF3 uses 4x).
+    pub fn new(dim: usize, expansion: usize, seed: u64) -> Transition {
+        Transition {
+            up: Linear::new_no_bias(dim, dim * expansion, seed),
+            down: Linear::new_no_bias(dim * expansion, dim, seed ^ 0xdead),
+        }
+    }
+
+    /// Apply the transition.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.down.forward(&swish(&self.up.forward(x)))
+    }
+
+    /// Parameter count.
+    pub fn params(&self) -> usize {
+        self.up.params() + self.down.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let l = Linear::new(4, 6, 1);
+        let x = Tensor::randn(vec![3, 5, 4], 2);
+        let y = l.forward(&x);
+        assert_eq!(y.dims(), &[3, 5, 6]);
+        assert_eq!(l.params(), 4 * 6 + 6);
+        assert_eq!(Linear::new_no_bias(4, 6, 1).params(), 24);
+    }
+
+    #[test]
+    fn linear_is_linear() {
+        let l = Linear::new_no_bias(8, 8, 3);
+        let a = Tensor::randn(vec![2, 8], 4);
+        let b = Tensor::randn(vec![2, 8], 5);
+        let sum_then = l.forward(&a.add(&b));
+        let then_sum = l.forward(&a).add(&l.forward(&b));
+        assert!(sum_then.approx_eq(&then_sum, 1e-4));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::randn(vec![5, 32], 6);
+        let y = layer_norm(&x);
+        for row in y.data().chunks(32) {
+            let mean: f32 = row.iter().sum::<f32>() / 32.0;
+            let var: f32 = row.iter().map(|v| v * v).sum::<f32>() / 32.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -5., 0., 5.]);
+        let y = softmax(&x);
+        for row in y.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1, 2], vec![1e4, 1e4 - 1.0]);
+        let y = softmax(&x);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!((y.data()[0] + y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_basic_properties() {
+        let x = Tensor::from_vec(vec![3], vec![-2.0, 0.0, 2.0]);
+        let s = sigmoid(&x);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < s.data()[1] && s.data()[1] < s.data()[2]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let w = swish(&x);
+        assert!(w.data()[2] > 0.0 && w.data()[0] > -0.5);
+    }
+
+    #[test]
+    fn transition_preserves_shape() {
+        let t = Transition::new(16, 4, 7);
+        let x = Tensor::randn(vec![3, 16], 8);
+        let y = t.forward(&x);
+        assert_eq!(y.dims(), &[3, 16]);
+        assert_eq!(t.params(), 16 * 64 * 2);
+    }
+}

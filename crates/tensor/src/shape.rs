@@ -1,0 +1,134 @@
+//! Tensor shapes and row-major strides.
+
+use std::fmt;
+
+/// A tensor shape (row-major, rank ≤ 4 in practice).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the shape is empty.
+    pub fn new(dims: Vec<usize>) -> Shape {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        Shape { dims }
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat index of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the index rank mismatches or is out of range.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for d in (0..self.dims.len()).rev() {
+            debug_assert!(index[d] < self.dims[d], "index out of range in dim {d}");
+            off += index[d] * stride;
+            stride *= self.dims[d];
+        }
+        off
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Shape {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offsets_walk_linearly() {
+        let s = Shape::new(vec![2, 3]);
+        let mut expected = 0;
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(s.offset(&[i, j]), expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![4, 5]).to_string(), "[4x5]");
+    }
+}

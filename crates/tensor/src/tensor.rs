@@ -1,0 +1,313 @@
+//! The dense `f32` tensor type and core operations.
+
+use crate::shape::Shape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(dims: Vec<usize>) -> Tensor {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Tensor filled with one value.
+    pub fn full(dims: Vec<usize>, value: f32) -> Tensor {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn eye(n: usize) -> Tensor {
+        let mut t = Tensor::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Build from explicit data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` mismatches the shape.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.numel(), data.len(), "data length mismatches shape");
+        Tensor { shape, data }
+    }
+
+    /// Seeded He-style random init (scaled by `1/sqrt(fan_in)` where
+    /// `fan_in` is the last dimension).
+    pub fn randn(dims: Vec<usize>, seed: u64) -> Tensor {
+        let shape = Shape::new(dims);
+        let fan_in = *shape.dims().last().expect("non-empty shape") as f32;
+        let scale = (1.0 / fan_in).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Box-Muller pairs.
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * scale);
+            if data.len() < n {
+                data.push(r * theta.sin() * scale);
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimensions shortcut.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set an element.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, dims: Vec<usize>) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.numel(), self.data.len(), "reshape must preserve numel");
+        self.shape = shape;
+        self
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise combine with an equal-shaped tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip requires equal shapes");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise product (Hadamard).
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// 2-D matrix multiply: `[m,k] @ [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner
+    /// dimension.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "inner dimensions must match");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rank-2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose2 needs rank 2");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(vec![n, m], out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element (0 for empty — unreachable).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Approximate equality within `tol` (same shape required).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ({} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let i = Tensor::eye(3);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(vec![2, 2], vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_associative_with_transpose_rule() {
+        let a = Tensor::randn(vec![3, 4], 1);
+        let b = Tensor::randn(vec![4, 5], 2);
+        let ab_t = a.matmul(&b).transpose2();
+        let bt_at = b.transpose2().matmul(&a.transpose2());
+        assert!(ab_t.approx_eq(&bt_at, 1e-4));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::randn(vec![3, 7], 3);
+        assert!(a.transpose2().transpose2().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn randn_scaled_and_deterministic() {
+        let a = Tensor::randn(vec![64, 64], 9);
+        let b = Tensor::randn(vec![64, 64], 9);
+        assert_eq!(a, b);
+        // He-ish scale: std ~ 1/8 for fan_in 64.
+        let var = a.data().iter().map(|x| x * x).sum::<f32>() / 4096.0;
+        assert!((var.sqrt() - 0.125).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![2], vec![1., -2.]);
+        let b = Tensor::from_vec(vec![2], vec![3., 5.]);
+        assert_eq!(a.add(&b).data(), &[4., 3.]);
+        assert_eq!(a.hadamard(&b).data(), &[3., -10.]);
+        assert_eq!(a.scale(2.0).data(), &[2., -4.]);
+        assert_eq!(a.map(f32::abs).data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.clone().reshape(vec![3, 2]);
+        assert_eq!(b.data(), a.data());
+        assert_eq!(b.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must match")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros(vec![2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5);
+        assert_eq!(t.at(&[1, 2, 3]), 7.5);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+    }
+}

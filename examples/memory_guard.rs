@@ -1,0 +1,46 @@
+//! The static memory estimator from the paper's §VI ("Memory Estimation
+//! Based on Input Features"): pre-flight an AF3 job JSON before burning
+//! hours of MSA only to be OOM-killed.
+//!
+//! ```text
+//! cargo run --release --example memory_guard [job.json]
+//! ```
+//!
+//! Without an argument, the Fig. 2 RNA length series is checked.
+
+use afsysbench::core::MemoryEstimator;
+use afsysbench::seq::input;
+use afsysbench::seq::samples;
+use afsysbench::simarch::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = MemoryEstimator::new(8); // AF3's default thread count
+
+    if let Some(path) = std::env::args().nth(1) {
+        let json = std::fs::read_to_string(&path)?;
+        let assembly = input::parse_job(&json)?;
+        println!("pre-flight for {assembly}:");
+        for platform in Platform::all() {
+            println!("\n-- {platform} --");
+            print!("{}", estimator.preflight(&assembly, platform));
+        }
+        return Ok(());
+    }
+
+    println!("no job file given — checking the paper's Fig. 2 RNA series\n");
+    for len in [621usize, 935, 1135, 1335] {
+        let assembly = samples::rna_memory_probe(len);
+        let report = estimator.preflight(&assembly, Platform::Server);
+        println!("== RNA {len} nt on Server ==");
+        print!("{report}");
+        println!(
+            "   verdict: {}\n",
+            if report.safe() {
+                "safe to launch"
+            } else {
+                "DO NOT LAUNCH (would OOM mid-MSA)"
+            }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the full AF3 pipeline for one paper sample on both
+//! platforms and print the phase breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use afsysbench::core::context::{BenchContext, ContextConfig};
+use afsysbench::core::msa_phase::MsaPhaseOptions;
+use afsysbench::core::pipeline::{run_pipeline, PipelineOptions};
+use afsysbench::core::report;
+use afsysbench::model::ModelConfig;
+use afsysbench::seq::samples::SampleId;
+use afsysbench::simarch::Platform;
+
+fn main() {
+    // Executed search data for 2PV7 (jackhmmer over the synthetic
+    // protein databases) — computed once, reused per platform.
+    println!("building databases and running jackhmmer for 2PV7…");
+    let mut ctx = BenchContext::new(ContextConfig::bench());
+    let data = ctx.sample_data(SampleId::S2pv7);
+    println!(
+        "  {} chain entities searched, MSA depth {}, {:.0} GiB of (modelled) database scanned",
+        data.chains.len(),
+        data.msa_depth,
+        data.paper_scan_bytes() as f64 / (1u64 << 30) as f64,
+    );
+
+    let options = PipelineOptions {
+        msa: MsaPhaseOptions::default(),
+        model: Some(ModelConfig::paper()),
+        seed: 1,
+    };
+
+    for platform in Platform::all() {
+        let r = run_pipeline(&data, platform, 4, &options);
+        println!(
+            "\n== {} @ 4 threads ==",
+            report::platform_label(platform)
+        );
+        println!("  MSA phase:        {}", report::fmt_seconds(r.msa_seconds()));
+        println!(
+            "  inference phase:  {}  (init {:.0}s, XLA {:.0}s, GPU {:.0}s)",
+            report::fmt_seconds(r.inference_seconds()),
+            r.inference.breakdown.init_s,
+            r.inference.breakdown.xla_compile_s,
+            r.inference.breakdown.gpu_compute_s,
+        );
+        println!(
+            "  end-to-end:       {}  (MSA share {:.0}% — the paper's headline)",
+            report::fmt_seconds(r.total_seconds()),
+            r.msa_share() * 100.0
+        );
+        println!(
+            "  predicted fold:   {} tokens, mean pLDDT {:.1}",
+            r.inference.model.structure.len(),
+            r.inference.model.structure.mean_plddt()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Thread-scaling study (paper Figs. 4 & 5, Observation 3): sweep the MSA
+//! phase over 1–8 threads for a small and a large sample and print the
+//! speedup curves plus the adaptive recommendation.
+//!
+//! ```text
+//! cargo run --release --example thread_scaling
+//! ```
+
+use afsysbench::core::context::{BenchContext, ContextConfig};
+use afsysbench::core::msa_phase::MsaPhaseOptions;
+use afsysbench::core::report;
+use afsysbench::core::runner::{self, MSA_THREAD_SWEEP};
+use afsysbench::seq::samples::SampleId;
+use afsysbench::simarch::Platform;
+
+fn main() {
+    let mut ctx = BenchContext::new(ContextConfig::bench());
+    let options = MsaPhaseOptions::default();
+
+    for id in [SampleId::S2pv7, SampleId::S6qnr] {
+        println!("\nrunning searches for {id:?}…", id = id.name());
+        let data = ctx.sample_data(id);
+        for platform in Platform::all() {
+            println!("\n== {} on {} ==", id.name(), report::platform_label(platform));
+            let sweep = runner::msa_thread_sweep(&data, platform, &MSA_THREAD_SWEEP, &options);
+            let speedups = runner::speedup_curve(&sweep);
+            println!("  {:>7} {:>12} {:>9} {:>9}", "threads", "MSA time", "speedup", "ideal");
+            for ((t, r), (_, s)) in sweep.iter().zip(&speedups) {
+                println!(
+                    "  {:>7} {:>12} {:>8.2}x {:>8}x",
+                    t,
+                    report::fmt_seconds(r.wall_seconds()),
+                    s,
+                    t
+                );
+            }
+            let best = runner::recommend_threads(&data, platform, &options);
+            println!(
+                "  -> adaptive recommendation: {best} threads (AF3's static default is 8)"
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the AFSysBench-RS workspace.
+//!
+//! See [`afsb_core`] for the pipeline entry points.
+pub use afsb_core as core;
+pub use afsb_gpu as gpu;
+pub use afsb_hmmer as hmmer;
+pub use afsb_model as model;
+pub use afsb_seq as seq;
+pub use afsb_simarch as simarch;
+pub use afsb_tensor as tensor;

@@ -1,0 +1,158 @@
+//! End-to-end integration tests: the full pipeline across crates, with
+//! the paper's headline observations asserted as invariants.
+
+use afsysbench::core::context::{BenchContext, ContextConfig};
+use afsysbench::core::msa_phase::MsaPhaseOptions;
+use afsysbench::core::pipeline::{run_pipeline, PipelineOptions};
+use afsysbench::model::ModelConfig;
+use afsysbench::seq::samples::SampleId;
+use afsysbench::simarch::Platform;
+
+use std::sync::{Mutex, OnceLock};
+
+/// Shared executed-search cache: building the synthetic databases and
+/// running the search engine dominates test time, and the data is
+/// immutable, so every test in this binary shares one context.
+fn shared_data(id: SampleId) -> std::sync::Arc<afsysbench::core::context::SampleSearchData> {
+    static CTX: OnceLock<Mutex<BenchContext>> = OnceLock::new();
+    CTX.get_or_init(|| Mutex::new(BenchContext::new(ContextConfig::test())))
+        .lock()
+        .expect("context lock")
+        .sample_data(id)
+}
+
+
+fn options() -> PipelineOptions {
+    PipelineOptions {
+        msa: MsaPhaseOptions {
+            sample_cap: 400_000,
+            ..MsaPhaseOptions::default()
+        },
+        model: Some(ModelConfig::paper()),
+        seed: 9,
+    }
+}
+
+#[test]
+fn every_sample_completes_on_both_platforms() {
+        for id in SampleId::all() {
+        let data = shared_data(id);
+        for platform in Platform::all() {
+            let r = run_pipeline(&data, platform, 4, &options());
+            assert!(r.completed(), "{id} on {platform} must complete");
+            assert!(r.total_seconds() > 0.0);
+            assert_eq!(
+                r.inference.model.structure.len(),
+                data.sample.assembly.total_residues()
+            );
+        }
+    }
+}
+
+#[test]
+fn observation_msa_dominates_end_to_end() {
+    // Paper §V-B1: MSA is ~75–94 % of total under optimal threading.
+        for id in [SampleId::S1yy9, SampleId::Promo, SampleId::S6qnr] {
+        let data = shared_data(id);
+        for platform in Platform::all() {
+            let r = run_pipeline(&data, platform, 4, &options());
+            assert!(
+                r.msa_share() > 0.55,
+                "{id} on {platform}: MSA share {:.2} must dominate",
+                r.msa_share()
+            );
+        }
+    }
+}
+
+#[test]
+fn observation_desktop_wins_end_to_end_midscale() {
+    // Paper Observation 1: the Desktop consistently beats the Server on
+    // mid-scale inputs.
+        for id in [SampleId::S2pv7, SampleId::S1yy9] {
+        let data = shared_data(id);
+        let server = run_pipeline(&data, Platform::Server, 4, &options());
+        let desktop = run_pipeline(&data, Platform::Desktop, 4, &options());
+        assert!(
+            desktop.total_seconds() < server.total_seconds(),
+            "{id}: desktop {:.0}s must beat server {:.0}s",
+            desktop.total_seconds(),
+            server.total_seconds()
+        );
+    }
+}
+
+#[test]
+fn observation_promo_msa_exceeds_1yy9_despite_similar_length() {
+    // Paper Observation 2: poly-Q stretches make promo (857 aa) cost more
+    // MSA time than 1YY9 (881 aa).
+        let promo = shared_data(SampleId::Promo);
+    let yy9 = shared_data(SampleId::S1yy9);
+    // Low-complexity inflates stage-1 survivors and downstream scoring.
+    let promo_counters = promo.total_paper_counters();
+    let yy9_counters = yy9.total_paper_counters();
+    let promo_rescans_per_res =
+        promo_counters.rescans as f64 / promo_counters.db_residues as f64;
+    let yy9_rescans_per_res = yy9_counters.rescans as f64 / yy9_counters.db_residues as f64;
+    assert!(
+        promo_rescans_per_res > yy9_rescans_per_res,
+        "promo must rescan more per scanned residue: {promo_rescans_per_res:.2e} vs {yy9_rescans_per_res:.2e}"
+    );
+}
+
+#[test]
+fn inference_flat_across_threads_msa_scales() {
+        let data = shared_data(SampleId::S7rce);
+    let o = options();
+    let t1 = run_pipeline(&data, Platform::Desktop, 1, &o);
+    let t4 = run_pipeline(&data, Platform::Desktop, 4, &o);
+    // MSA speeds up substantially…
+    assert!(t1.msa_seconds() / t4.msa_seconds() > 1.8);
+    // …inference does not (single dispatch thread, Fig. 6).
+    let inf_ratio = t1.inference_seconds() / t4.inference_seconds();
+    assert!(
+        (0.8..=1.1).contains(&inf_ratio),
+        "inference must be flat, ratio {inf_ratio:.2}"
+    );
+}
+
+#[test]
+fn oom_behaviour_matches_fig2_thresholds() {
+    use afsysbench::core::msa_phase::run_msa_phase;
+    use afsysbench::hmmer::nhmmer;
+    use afsysbench::simarch::memory::CapacityModel;
+
+    // The memory model itself: 1,135 nt completes only with CXL; 1,335
+    // fails everywhere (server capacities).
+    let server = CapacityModel::new(&Platform::Server.spec());
+    assert!(server.admit(nhmmer::paper_peak_bytes(1135)).completes());
+    assert!(!server
+        .clone()
+        .without_cxl()
+        .admit(nhmmer::paper_peak_bytes(1135))
+        .completes());
+    assert!(!server.admit(nhmmer::paper_peak_bytes(1335)).completes());
+
+    // And the phase runner surfaces OOM as a non-completing result:
+    // 6QNR's 120-nt RNA is fine everywhere.
+        let qnr = shared_data(SampleId::S6qnr);
+    let r = run_msa_phase(
+        &qnr,
+        Platform::Desktop,
+        4,
+        &MsaPhaseOptions {
+            sample_cap: 200_000,
+            ..MsaPhaseOptions::default()
+        },
+    );
+    assert!(r.completed());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+        let data = shared_data(SampleId::S7rce);
+    let a = run_pipeline(&data, Platform::Server, 2, &options());
+    let b = run_pipeline(&data, Platform::Server, 2, &options());
+    assert_eq!(a.total_seconds(), b.total_seconds());
+    assert_eq!(a.msa.sim.totals, b.msa.sim.totals);
+}
