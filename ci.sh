@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate for AFSysBench-RS.
+#
+# The workspace is hermetic: it has zero external dependencies (see
+# DESIGN.md "Hermetic build & determinism"), so every step below runs with
+# --offline and must succeed with no network access and an empty cargo
+# registry cache.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

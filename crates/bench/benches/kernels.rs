@@ -1,8 +1,10 @@
-//! Criterion microbenchmarks for the hot kernels of every subsystem.
+//! Microbenchmarks for the hot kernels of every subsystem (rt::bench).
 //!
 //! These benchmark the *substrate implementations themselves* (how fast
 //! our engine/simulator run on the host), complementing the `afsysbench`
-//! binary which produces the paper's simulated measurements.
+//! binary which produces the paper's simulated measurements. Run with
+//! `cargo bench -p afsb-bench`; sample counts are tunable through the
+//! `AFSB_BENCH_*` environment variables (see `afsb_rt::bench`).
 
 use afsb_hmmer::banded::{banded_viterbi, Band};
 use afsb_hmmer::dp;
@@ -13,51 +15,41 @@ use afsb_hmmer::substitution::SubstitutionMatrix;
 use afsb_hmmer::WorkCounters;
 use afsb_model::config::ModelConfig;
 use afsb_model::triangle::{Orientation, TriangleAttention, TriangleMultiplication};
+use afsb_rt::bench::Bench;
 use afsb_seq::alphabet::MoleculeKind;
 use afsb_seq::generate::{background_sequence, rng_for};
 use afsb_simarch::trace::{AccessPattern, Region, Segment, ThreadProgram, WeightedPattern};
 use afsb_simarch::{PlatformSpec, SimEngine};
 use afsb_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-fn bench_hmmer_kernels(c: &mut Criterion) {
+fn bench_hmmer_kernels(b: &mut Bench) {
     let mut rng = rng_for("bench", 1);
     let query = background_sequence("q", MoleculeKind::Protein, 242, &mut rng);
     let target = background_sequence("t", MoleculeKind::Protein, 320, &mut rng);
     let profile = ProfileHmm::from_query(&query, &SubstitutionMatrix::blosum62());
 
-    c.bench_function("msv_scan_242x320", |b| {
-        b.iter_batched(
-            WorkCounters::default,
-            |mut counters| msv_scan(&profile, target.codes(), &mut counters),
-            BatchSize::SmallInput,
-        )
+    b.run_batched("msv_scan_242x320", WorkCounters::default, |mut counters| {
+        msv_scan(&profile, target.codes(), &mut counters)
     });
 
-    c.bench_function("banded_viterbi_242x320_w16", |b| {
-        b.iter_batched(
-            WorkCounters::default,
-            |mut counters| {
-                banded_viterbi(
-                    &profile,
-                    target.codes(),
-                    Band {
-                        diag: 0,
-                        half_width: 16,
-                    },
-                    &mut counters,
-                )
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    b.run_batched(
+        "banded_viterbi_242x320_w16",
+        WorkCounters::default,
+        |mut counters| {
+            banded_viterbi(
+                &profile,
+                target.codes(),
+                Band {
+                    diag: 0,
+                    half_width: 16,
+                },
+                &mut counters,
+            )
+        },
+    );
 
-    c.bench_function("forward_242x320", |b| {
-        b.iter_batched(
-            WorkCounters::default,
-            |mut counters| dp::forward_score(&profile, target.codes(), &mut counters),
-            BatchSize::SmallInput,
-        )
+    b.run_batched("forward_242x320", WorkCounters::default, |mut counters| {
+        dp::forward_score(&profile, target.codes(), &mut counters)
     });
 
     let pipeline = Pipeline::new(
@@ -68,16 +60,14 @@ fn bench_hmmer_kernels(c: &mut Criterion) {
             ..PipelineConfig::default()
         },
     );
-    c.bench_function("pipeline_scan_one_target", |b| {
-        b.iter_batched(
-            WorkCounters::default,
-            |mut counters| pipeline.scan(&target, 1000, &mut counters),
-            BatchSize::SmallInput,
-        )
-    });
+    b.run_batched(
+        "pipeline_scan_one_target",
+        WorkCounters::default,
+        |mut counters| pipeline.scan(&target, 1000, &mut counters),
+    );
 }
 
-fn bench_simarch_engine(c: &mut Criterion) {
+fn bench_simarch_engine(b: &mut Bench) {
     let spec = PlatformSpec::server();
     let region = Region::new(0x1000_0000, 48 << 20);
     let mk_program = || {
@@ -97,26 +87,26 @@ fn bench_simarch_engine(c: &mut Criterion) {
         ));
         p
     };
-    c.bench_function("sim_engine_1M_accesses_4T", |b| {
-        let engine = SimEngine::new(spec.clone()).with_sample_cap(250_000);
-        let programs = vec![mk_program(), mk_program(), mk_program(), mk_program()];
-        b.iter(|| engine.run(&programs, 7))
-    });
+    let engine = SimEngine::new(spec.clone()).with_sample_cap(250_000);
+    let programs = vec![mk_program(), mk_program(), mk_program(), mk_program()];
+    b.run("sim_engine_1M_accesses_4T", || engine.run(&programs, 7));
 }
 
-fn bench_model_layers(c: &mut Criterion) {
+fn bench_model_layers(b: &mut Bench) {
     let cfg = ModelConfig::tiny();
     let d = cfg.sim_dim(cfg.c_pair);
     let pair = Tensor::randn(vec![12, 12, d], 3);
     let mult = TriangleMultiplication::new(d, Orientation::Outgoing, 4);
     let attn = TriangleAttention::new(d, 2, Orientation::Outgoing, 5);
-    c.bench_function("triangle_mult_12x12", |b| b.iter(|| mult.forward(&pair)));
-    c.bench_function("triangle_attn_12x12", |b| b.iter(|| attn.forward(&pair)));
+    b.run("triangle_mult_12x12", || mult.forward(&pair));
+    b.run("triangle_attn_12x12", || attn.forward(&pair));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_hmmer_kernels, bench_simarch_engine, bench_model_layers
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let mut b = Bench::from_env();
+    bench_hmmer_kernels(&mut b);
+    bench_simarch_engine(&mut b);
+    bench_model_layers(&mut b);
+    b.finish();
 }
-criterion_main!(benches);

@@ -10,8 +10,23 @@ use std::fs;
 use std::path::PathBuf;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "fig5",
-    "fig6", "fig7", "fig8", "fig9", "ablation-persistent", "ablation-storage", "estimator",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation-persistent",
+    "ablation-storage",
+    "estimator",
     "recommend",
 ];
 

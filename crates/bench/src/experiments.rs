@@ -104,7 +104,13 @@ impl Harness {
             })
             .collect();
         ascii_table(
-            &["Sample", "Structure", "Complexity", "Seq. Length", "Characteristic"],
+            &[
+                "Sample",
+                "Structure",
+                "Complexity",
+                "Seq. Length",
+                "Characteristic",
+            ],
             &rows,
         )
     }
@@ -170,7 +176,15 @@ impl Harness {
             })
             .collect();
         let table = ascii_table(
-            &["Sample", "Platform", "T", "MSA", "Inference", "Total", "MSA share"],
+            &[
+                "Sample",
+                "Platform",
+                "T",
+                "MSA",
+                "Inference",
+                "Total",
+                "MSA share",
+            ],
             &rows,
         );
         (table, report::phase_series_csv(&results))
@@ -191,18 +205,20 @@ impl Harness {
                 rows.push(row);
             }
         }
-        ascii_table(
-            &["Sample", "Platform", "1T", "2T", "4T", "6T", "8T"],
-            &rows,
-        )
+        ascii_table(&["Sample", "Platform", "1T", "2T", "4T", "6T", "8T"], &rows)
     }
 
     /// Fig. 5: 6QNR thread-scaling and speedup (saturation/degradation).
     pub fn fig5(&mut self) -> String {
         let data = self.ctx.sample_data(SampleId::S6qnr);
-        let sweep =
-            runner::msa_thread_sweep(&data, Platform::Server, &MSA_THREAD_SWEEP, &self.msa_options);
-        let speedups = runner::speedup_curve(&sweep);
+        let sweep = runner::msa_thread_sweep(
+            &data,
+            Platform::Server,
+            &MSA_THREAD_SWEEP,
+            &self.msa_options,
+        );
+        let speedups =
+            runner::speedup_curve(&sweep).expect("MSA_THREAD_SWEEP includes the 1-thread baseline");
         let rows: Vec<Vec<String>> = sweep
             .iter()
             .zip(&speedups)
@@ -264,7 +280,13 @@ impl Harness {
             }
         }
         ascii_table(
-            &["Sample", "Platform", "Best T", "MSA share", "Inference share"],
+            &[
+                "Sample",
+                "Platform",
+                "Best T",
+                "MSA share",
+                "Inference share",
+            ],
             &rows,
         )
     }
@@ -326,9 +348,7 @@ impl Harness {
             let total: f64 = labels.values().sum();
             let mut rows: Vec<Vec<String>> = labels
                 .iter()
-                .map(|(label, s)| {
-                    vec![label.clone(), format!("{:.1}%", s / total * 100.0)]
-                })
+                .map(|(label, s)| vec![label.clone(), format!("{:.1}%", s / total * 100.0)])
                 .collect();
             rows.sort_by(|a, b| {
                 b[1].trim_end_matches('%')
@@ -337,7 +357,11 @@ impl Harness {
                     .partial_cmp(&a[1].trim_end_matches('%').parse::<f64>().unwrap_or(0.0))
                     .unwrap()
             });
-            out.push_str(&format!("\n{}:\n{}", id.name(), ascii_table(&["Layer", "Share"], &rows)));
+            out.push_str(&format!(
+                "\n{}:\n{}",
+                id.name(),
+                ascii_table(&["Layer", "Share"], &rows)
+            ));
         }
 
         // Table VI: per-invocation times (ms): pairformer labels per
@@ -403,7 +427,9 @@ impl Harness {
                 })
                 .collect();
             out.push_str(&ascii_table(
-                &["Metric", "Xeon 1T", "Xeon 4T", "Xeon 6T", "Ryzen 1T", "Ryzen 4T", "Ryzen 6T"],
+                &[
+                    "Metric", "Xeon 1T", "Xeon 4T", "Xeon 6T", "Ryzen 1T", "Ryzen 4T", "Ryzen 6T",
+                ],
                 &rows,
             ));
         }
@@ -452,7 +478,10 @@ impl Harness {
                 "dTLB Load Misses".into(),
                 "ShapeUtil::ByteSizeOf".into(),
                 id.name().into(),
-                format!("{:.2}%", report.tlb_miss_share("ShapeUtil::ByteSizeOf") * 100.0),
+                format!(
+                    "{:.2}%",
+                    report.tlb_miss_share("ShapeUtil::ByteSizeOf") * 100.0
+                ),
             ]);
             rows.push(vec![
                 "LLC Load Misses".into(),
@@ -461,7 +490,10 @@ impl Harness {
                 format!("{:.2}%", report.cache_miss_share("copy_to_iter") * 100.0),
             ]);
         }
-        let mut out = ascii_table(&["Event Type", "Function/Symbol", "Sample", "Overhead"], &rows);
+        let mut out = ascii_table(
+            &["Event Type", "Function/Symbol", "Sample", "Overhead"],
+            &rows,
+        );
         out.push_str("\npaper: _M_fill_insert faults 12.99% (2PV7) / 16.83% (promo); ByteSizeOf dTLB 5.99/3.89%; copy_to_iter LLC 6.90% (2PV7) / 5.80% (6QNR)\n");
         out
     }

@@ -196,9 +196,7 @@ impl SampleSearchData {
         let mut peak = 0u64;
         for chain in &self.chains {
             let b = match chain.kind {
-                MoleculeKind::Protein => {
-                    jackhmmer::paper_peak_bytes(chain.query_len, threads)
-                }
+                MoleculeKind::Protein => jackhmmer::paper_peak_bytes(chain.query_len, threads),
                 MoleculeKind::Rna => nhmmer::paper_peak_bytes(chain.query_len),
                 _ => 0,
             };
@@ -258,10 +256,7 @@ impl BenchContext {
             let mut per_db = Vec::new();
             for &std_db in db_set {
                 let spec = self.config.scale.shrink(std_db.spec());
-                let db = SequenceDatabase::build_with_queries(
-                    spec,
-                    std::slice::from_ref(query),
-                );
+                let db = SequenceDatabase::build_with_queries(spec, std::slice::from_ref(query));
                 let (counters, hits, msa_rows) = match chain.kind() {
                     MoleculeKind::Protein => {
                         let cfg = JackhmmerConfig {

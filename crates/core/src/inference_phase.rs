@@ -11,9 +11,7 @@ use afsb_gpu::device::GpuSpec;
 use afsb_gpu::runtime::{GpuRuntime, HostCpuModel, InferenceBreakdown};
 use afsb_model::{run_inference, InferenceResult, ModelConfig};
 use afsb_seq::chain::Assembly;
-use afsb_simarch::trace::{
-    AccessPattern, AddressSpace, Segment, ThreadProgram, WeightedPattern,
-};
+use afsb_simarch::trace::{AccessPattern, AddressSpace, Segment, ThreadProgram, WeightedPattern};
 use afsb_simarch::{Platform, SimEngine, SimResult};
 
 /// Options for an inference-phase run.
@@ -112,11 +110,7 @@ pub fn run_inference_phase(
 /// - `copy_to_iter`: the weights load — record gather from the page
 ///   cache (LLC misses),
 /// - plus the interpreter/runtime remainder.
-fn simulate_host_phase(
-    platform: Platform,
-    breakdown: &InferenceBreakdown,
-    seed: u64,
-) -> SimResult {
+fn simulate_host_phase(platform: Platform, breakdown: &InferenceBreakdown, seed: u64) -> SimResult {
     let report = &breakdown.compile_report;
     let mut space = AddressSpace::new();
     let arena = space.alloc(report.arena_bytes.max(1 << 20));
@@ -243,8 +237,7 @@ mod tests {
         o.model = ModelConfig::paper();
         let r = run_inference_phase(&asm, Platform::Desktop, &o);
         assert!(
-            r.breakdown.gpu_compute_s
-                > r.breakdown.init_s + r.breakdown.xla_compile_s,
+            r.breakdown.gpu_compute_s > r.breakdown.init_s + r.breakdown.xla_compile_s,
             "desktop compute {} vs overheads {}",
             r.breakdown.gpu_compute_s,
             r.breakdown.init_s + r.breakdown.xla_compile_s

@@ -227,8 +227,7 @@ pub fn build_programs(
         branch_regularity: 0.97,
         page_faults: 0,
     });
-    let sync_instr =
-        (cost.sync_instr_per_thread * threads as f64 * search_count as f64) as u64;
+    let sync_instr = (cost.sync_instr_per_thread * threads as f64 * search_count as f64) as u64;
     for (t, program) in programs.iter_mut().enumerate() {
         program.push(Segment {
             symbol: "thread_sync",
@@ -237,9 +236,7 @@ pub fn build_programs(
             l1_resident_accesses: (sync_instr as f64 * 0.18) as u64,
             patterns: vec![WeightedPattern {
                 weight: 1.0,
-                pattern: AccessPattern::Random {
-                    region: shared_hot,
-                },
+                pattern: AccessPattern::Random { region: shared_hot },
             }],
             branches: sync_instr / 6,
             branch_regularity: 0.85,

@@ -130,9 +130,7 @@ pub fn run_msa_phase(
     let mut thread_overhead_seconds = 0.0;
     for chain in &data.chains {
         let per = match chain.kind {
-            afsb_seq::alphabet::MoleculeKind::Rna => {
-                options.cost.rna_search_thread_overhead_s
-            }
+            afsb_seq::alphabet::MoleculeKind::Rna => options.cost.rna_search_thread_overhead_s,
             _ => options.cost.protein_search_thread_overhead_s,
         };
         thread_overhead_seconds += per * chain.per_db.len() as f64 * (threads - 1) as f64;
@@ -157,8 +155,8 @@ pub fn run_msa_phase(
             // evicts between scans. Scan count is recovered from the
             // paper-scale copied-byte volume.
             let scans = (db.paper_counters().copied_bytes / db.paper_bytes.max(1)).max(1);
-            let per_scan = if options.preload_databases && page_cache.registered_bytes()
-                <= capacity.page_cache_budget(peak_memory_bytes)
+            let per_scan = if options.preload_databases
+                && page_cache.registered_bytes() <= capacity.page_cache_budget(peak_memory_bytes)
             {
                 0
             } else {

@@ -121,9 +121,7 @@ mod tests {
         let mut ctx = BenchContext::new(ContextConfig::test());
         let data = ctx.sample_data(SampleId::S7rce);
         let r = run_pipeline(&data, Platform::Desktop, 2, &options());
-        assert!(
-            (r.total_seconds() - r.msa_seconds() - r.inference_seconds()).abs() < 1e-9
-        );
+        assert!((r.total_seconds() - r.msa_seconds() - r.inference_seconds()).abs() < 1e-9);
         assert!(r.completed());
         assert_eq!(r.sample, "7RCE");
     }

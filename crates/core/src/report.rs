@@ -232,7 +232,10 @@ mod tests {
         assert!(t.contains("| A "));
         assert!(t.contains("| longer cell "));
         let widths: Vec<usize> = t.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
     }
 
     #[test]

@@ -2,14 +2,20 @@
 //!
 //! The ASCII tables in [`crate::report`] are for terminals; downstream
 //! plotting (the figures proper) wants structured records. This module
-//! flattens pipeline results into serde-serializable rows.
+//! flattens pipeline results into rows with explicit [`ToJson`]/
+//! [`FromJson`] mappings over the hermetic [`afsb_rt::json`] layer.
+//!
+//! Serialization is fully deterministic: field order is fixed by the
+//! `to_json` impls and number formatting by `afsb_rt::json`, so the same
+//! records always produce byte-identical output.
 
 use crate::msa_phase::MsaPhaseResult;
 use crate::pipeline::PipelineResult;
-use serde::{Deserialize, Serialize};
+use afsb_rt::json::obj;
+use afsb_rt::{FromJson, Json, JsonError, ToJson};
 
 /// One flattened end-to-end measurement row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineRecord {
     /// Sample name.
     pub sample: String,
@@ -62,8 +68,69 @@ impl From<&PipelineResult> for PipelineRecord {
     }
 }
 
+fn f64_field(v: &Json, key: &str) -> Result<f64, JsonError> {
+    v.field(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
+    Ok(v.field(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::msg(format!("'{key}' must be a string")))?
+        .to_owned())
+}
+
+impl ToJson for PipelineRecord {
+    fn to_json(&self) -> Json {
+        obj()
+            .field("sample", self.sample.as_str())
+            .field("platform", self.platform.as_str())
+            .field("threads", self.threads)
+            .field("msa_s", self.msa_s)
+            .field("inference_s", self.inference_s)
+            .field("total_s", self.total_s)
+            .field("msa_share", self.msa_share)
+            .field("completed", self.completed)
+            .field("msa_ipc", self.msa_ipc)
+            .field("msa_llc_miss", self.msa_llc_miss)
+            .field("init_s", self.init_s)
+            .field("xla_s", self.xla_s)
+            .field("gpu_s", self.gpu_s)
+            .field("uvm_fraction", self.uvm_fraction)
+            .build()
+    }
+}
+
+impl FromJson for PipelineRecord {
+    fn from_json(v: &Json) -> Result<PipelineRecord, JsonError> {
+        Ok(PipelineRecord {
+            sample: str_field(v, "sample")?,
+            platform: str_field(v, "platform")?,
+            threads: v
+                .field("threads")?
+                .as_usize()
+                .ok_or_else(|| JsonError::msg("'threads' must be an integer"))?,
+            msa_s: f64_field(v, "msa_s")?,
+            inference_s: f64_field(v, "inference_s")?,
+            total_s: f64_field(v, "total_s")?,
+            msa_share: f64_field(v, "msa_share")?,
+            completed: v
+                .field("completed")?
+                .as_bool()
+                .ok_or_else(|| JsonError::msg("'completed' must be a bool"))?,
+            msa_ipc: f64_field(v, "msa_ipc")?,
+            msa_llc_miss: f64_field(v, "msa_llc_miss")?,
+            init_s: f64_field(v, "init_s")?,
+            xla_s: f64_field(v, "xla_s")?,
+            gpu_s: f64_field(v, "gpu_s")?,
+            uvm_fraction: f64_field(v, "uvm_fraction")?,
+        })
+    }
+}
+
 /// One flattened MSA-sweep row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MsaSweepRecord {
     /// Platform name.
     pub platform: String,
@@ -92,14 +159,57 @@ impl From<&MsaPhaseResult> for MsaSweepRecord {
     }
 }
 
-/// Serialize records to pretty JSON.
+impl ToJson for MsaSweepRecord {
+    fn to_json(&self) -> Json {
+        obj()
+            .field("platform", self.platform.as_str())
+            .field("threads", self.threads)
+            .field("wall_s", self.wall_s)
+            .field("cpu_s", self.cpu_s)
+            .field("nvme_util_pct", self.nvme_util_pct)
+            .field("peak_memory_bytes", self.peak_memory_bytes)
+            .build()
+    }
+}
+
+impl FromJson for MsaSweepRecord {
+    fn from_json(v: &Json) -> Result<MsaSweepRecord, JsonError> {
+        Ok(MsaSweepRecord {
+            platform: str_field(v, "platform")?,
+            threads: v
+                .field("threads")?
+                .as_usize()
+                .ok_or_else(|| JsonError::msg("'threads' must be an integer"))?,
+            wall_s: f64_field(v, "wall_s")?,
+            cpu_s: f64_field(v, "cpu_s")?,
+            nvme_util_pct: f64_field(v, "nvme_util_pct")?,
+            peak_memory_bytes: v
+                .field("peak_memory_bytes")?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg("'peak_memory_bytes' must be an integer"))?,
+        })
+    }
+}
+
+/// Serialize records to pretty JSON (a top-level array).
+///
+/// The output is deterministic: same records, byte-identical text.
+pub fn to_json<T: ToJson>(records: &[T]) -> String {
+    Json::Arr(records.iter().map(ToJson::to_json).collect()).pretty()
+}
+
+/// Parse records back from the JSON produced by [`to_json`].
 ///
 /// # Errors
 ///
-/// Returns the underlying serde error (practically unreachable for these
-/// plain records).
-pub fn to_json<T: Serialize>(records: &[T]) -> Result<String, serde_json::Error> {
-    serde_json::to_string_pretty(records)
+/// Returns a [`JsonError`] for malformed JSON or rows missing fields.
+pub fn from_json<T: FromJson>(text: &str) -> Result<Vec<T>, JsonError> {
+    Json::parse(text)?
+        .as_array()
+        .ok_or_else(|| JsonError::msg("expected a top-level array of records"))?
+        .iter()
+        .map(T::from_json)
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,16 +244,29 @@ mod tests {
     fn record_roundtrips_through_json() {
         let r = result();
         let record = PipelineRecord::from(&r);
-        let json = to_json(std::slice::from_ref(&record)).unwrap();
-        let back: Vec<PipelineRecord> = serde_json::from_str(&json).unwrap();
+        let json = to_json(std::slice::from_ref(&record));
+        let back: Vec<PipelineRecord> = from_json(&json).unwrap();
         assert_eq!(back.len(), 1);
-        // Compare with a tolerance: JSON float text is the shortest
-        // round-trippable representation, which can differ in the last ULP.
-        assert_eq!(back[0].sample, record.sample);
-        assert_eq!(back[0].threads, record.threads);
-        assert!((back[0].total_s - record.total_s).abs() < 1e-9);
-        assert!((back[0].msa_llc_miss - record.msa_llc_miss).abs() < 1e-9);
+        // Shortest-round-trip float text reparses to the exact same f64,
+        // so the whole record round-trips exactly.
+        assert_eq!(back[0], record);
         assert!(json.contains("\"sample\": \"7RCE\""));
+    }
+
+    #[test]
+    fn sweep_record_roundtrips_through_json() {
+        let r = result();
+        let sweep = MsaSweepRecord::from(&r.msa);
+        let json = to_json(std::slice::from_ref(&sweep));
+        let back: Vec<MsaSweepRecord> = from_json(&json).unwrap();
+        assert_eq!(back, vec![sweep]);
+    }
+
+    #[test]
+    fn serialization_is_byte_identical_across_calls() {
+        let r = result();
+        let records = vec![PipelineRecord::from(&r)];
+        assert_eq!(to_json(&records), to_json(&records));
     }
 
     #[test]
@@ -156,5 +279,12 @@ mod tests {
         let sweep = MsaSweepRecord::from(&r.msa);
         assert_eq!(sweep.threads, 2);
         assert!(sweep.wall_s >= sweep.cpu_s);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(from_json::<PipelineRecord>("not json").is_err());
+        assert!(from_json::<PipelineRecord>("{}").is_err());
+        assert!(from_json::<PipelineRecord>("[{}]").is_err());
     }
 }

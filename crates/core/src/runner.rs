@@ -51,19 +51,19 @@ pub fn msa_thread_sweep(
 
 /// Speedup curve relative to the single-thread point.
 ///
-/// # Panics
-///
-/// Panics if the sweep does not include a 1-thread point.
-pub fn speedup_curve(sweep: &[(usize, MsaPhaseResult)]) -> Vec<(usize, f64)> {
+/// Returns `None` when the sweep has no 1-thread baseline (no point to
+/// normalize against), rather than panicking on partial sweeps.
+pub fn speedup_curve(sweep: &[(usize, MsaPhaseResult)]) -> Option<Vec<(usize, f64)>> {
     let base = sweep
         .iter()
         .find(|(t, _)| *t == 1)
-        .map(|(_, r)| r.wall_seconds())
-        .expect("sweep must include 1 thread");
-    sweep
-        .iter()
-        .map(|(t, r)| (*t, base / r.wall_seconds()))
-        .collect()
+        .map(|(_, r)| r.wall_seconds())?;
+    Some(
+        sweep
+            .iter()
+            .map(|(t, r)| (*t, base / r.wall_seconds()))
+            .collect(),
+    )
 }
 
 /// The simulated-optimal MSA thread count for an input on a platform —
@@ -106,8 +106,7 @@ pub fn msa_repeat_cv(
         })
         .collect();
     let mean = times.iter().sum::<f64>() / times.len() as f64;
-    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
-        / (times.len() - 1) as f64;
+    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (times.len() - 1) as f64;
     var.sqrt() / mean
 }
 
@@ -135,7 +134,7 @@ mod tests {
         let d = data(SampleId::S7rce);
         let sweep = msa_thread_sweep(&d, Platform::Server, &[1, 2, 4], &options());
         assert_eq!(sweep.len(), 3);
-        let speedups = speedup_curve(&sweep);
+        let speedups = speedup_curve(&sweep).expect("sweep includes 1 thread");
         assert_eq!(speedups[0], (1, 1.0));
         assert!(speedups[1].1 > 1.2, "2T should speed up: {:?}", speedups);
     }
@@ -144,7 +143,7 @@ mod tests {
     fn speedup_below_linear() {
         let d = data(SampleId::S1yy9);
         let sweep = msa_thread_sweep(&d, Platform::Server, &[1, 4, 8], &options());
-        for (t, s) in speedup_curve(&sweep) {
+        for (t, s) in speedup_curve(&sweep).expect("sweep includes 1 thread") {
             assert!(
                 s <= t as f64 * 1.05,
                 "speedup {s:.2} cannot exceed thread count {t}"
@@ -157,7 +156,17 @@ mod tests {
         let d = data(SampleId::S1yy9);
         let rec = recommend_threads(&d, Platform::Server, &options());
         assert!(MSA_THREAD_SWEEP.contains(&rec));
-        assert!(rec >= 2, "larger samples should want parallelism, got {rec}");
+        assert!(
+            rec >= 2,
+            "larger samples should want parallelism, got {rec}"
+        );
+    }
+
+    #[test]
+    fn speedup_curve_without_baseline_is_none() {
+        let d = data(SampleId::S7rce);
+        let sweep = msa_thread_sweep(&d, Platform::Server, &[2, 4], &options());
+        assert!(speedup_curve(&sweep).is_none());
     }
 
     #[test]

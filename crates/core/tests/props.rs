@@ -3,80 +3,114 @@
 use afsb_core::calib::{MsaCostModel, MsaPatternModel};
 use afsb_core::MemoryEstimator;
 use afsb_hmmer::{jackhmmer, nhmmer};
+use afsb_rt::check::{run, Config};
 use afsb_seq::samples;
 use afsb_simarch::Platform;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn estimator_monotone_in_rna_length(a in 100usize..1500, delta in 1usize..500) {
+#[test]
+fn estimator_monotone_in_rna_length() {
+    run("estimator_monotone_in_rna_length", Config::cases(48), |g| {
+        let a = g.range(100usize..1500);
+        let delta = g.range(1usize..500);
         let est = MemoryEstimator::new(8);
         let small = est.msa_peak_bytes(&samples::rna_memory_probe(a));
         let large = est.msa_peak_bytes(&samples::rna_memory_probe(a + delta));
-        prop_assert!(large > small);
-    }
+        assert!(large > small);
+    });
+}
 
-    #[test]
-    fn estimator_monotone_in_threads(threads in 1usize..16) {
+#[test]
+fn estimator_monotone_in_threads() {
+    run("estimator_monotone_in_threads", Config::cases(48), |g| {
+        let threads = g.range(1usize..16);
         let asm = samples::sample(samples::SampleId::S1yy9).assembly;
         let less = MemoryEstimator::new(threads).msa_peak_bytes(&asm);
         let more = MemoryEstimator::new(threads + 1).msa_peak_bytes(&asm);
-        prop_assert!(more >= less);
-    }
+        assert!(more >= less);
+    });
+}
 
-    #[test]
-    fn protein_memory_model_linear_in_length(len in 100usize..3000, threads in 1usize..9) {
-        let one = jackhmmer::paper_peak_bytes(len, threads);
-        let two = jackhmmer::paper_peak_bytes(2 * len, threads);
-        let ratio = two as f64 / one as f64;
-        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {}", ratio);
-    }
+#[test]
+fn protein_memory_model_linear_in_length() {
+    run(
+        "protein_memory_model_linear_in_length",
+        Config::cases(48),
+        |g| {
+            let len = g.range(100usize..3000);
+            let threads = g.range(1usize..9);
+            let one = jackhmmer::paper_peak_bytes(len, threads);
+            let two = jackhmmer::paper_peak_bytes(2 * len, threads);
+            let ratio = two as f64 / one as f64;
+            assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        },
+    );
+}
 
-    #[test]
-    fn nhmmer_memory_model_superlinear_midrange(len in 621usize..900) {
-        // Between the first two Fig. 2 anchors the curve grows much
-        // faster than linear.
-        let a = nhmmer::paper_peak_gib(len);
-        let b = nhmmer::paper_peak_gib(len + 50);
-        let growth = b / a;
-        let linear = (len as f64 + 50.0) / len as f64;
-        prop_assert!(growth > linear, "growth {} vs linear {}", growth, linear);
-    }
+#[test]
+fn nhmmer_memory_model_superlinear_midrange() {
+    run(
+        "nhmmer_memory_model_superlinear_midrange",
+        Config::cases(48),
+        |g| {
+            // Between the first two Fig. 2 anchors the curve grows much
+            // faster than linear.
+            let len = g.range(621usize..900);
+            let a = nhmmer::paper_peak_gib(len);
+            let b = nhmmer::paper_peak_gib(len + 50);
+            let growth = b / a;
+            let linear = (len as f64 + 50.0) / len as f64;
+            assert!(growth > linear, "growth {growth} vs linear {linear}");
+        },
+    );
+}
 
-    #[test]
-    fn preflight_never_panics_and_is_consistent(rna_len in 50usize..2000, threads in 1usize..12) {
-        let est = MemoryEstimator::new(threads);
-        let asm = samples::rna_memory_probe(rna_len);
-        for platform in Platform::all() {
-            let r = est.preflight(&asm, platform);
-            // safe() must agree with the admission outcome.
-            prop_assert_eq!(r.safe(), r.msa.outcome.completes());
-            // Unsafe verdicts always come with a warning.
-            if !r.safe() {
-                prop_assert!(!r.warnings.is_empty());
+#[test]
+fn preflight_never_panics_and_is_consistent() {
+    run(
+        "preflight_never_panics_and_is_consistent",
+        Config::cases(48),
+        |g| {
+            let rna_len = g.range(50usize..2000);
+            let threads = g.range(1usize..12);
+            let est = MemoryEstimator::new(threads);
+            let asm = samples::rna_memory_probe(rna_len);
+            for platform in Platform::all() {
+                let r = est.preflight(&asm, platform);
+                // safe() must agree with the admission outcome.
+                assert_eq!(r.safe(), r.msa.outcome.completes());
+                // Unsafe verdicts always come with a warning.
+                if !r.safe() {
+                    assert!(!r.warnings.is_empty());
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn burst_run_bounded_and_monotone(frac_a in 0.0f64..1.0, frac_b in 0.0f64..1.0) {
+#[test]
+fn burst_run_bounded_and_monotone() {
+    run("burst_run_bounded_and_monotone", Config::cases(48), |g| {
+        let frac_a = g.range(0.0f64..1.0);
+        let frac_b = g.range(0.0f64..1.0);
         let p = MsaPatternModel::default();
-        let (lo, hi) = if frac_a <= frac_b { (frac_a, frac_b) } else { (frac_b, frac_a) };
-        prop_assert!(p.burst_run(lo) <= p.burst_run(hi));
-        prop_assert!(p.burst_run(hi) <= p.burst_run_base + p.burst_run_lowcx_bonus);
-        prop_assert!(p.burst_run(lo) >= p.burst_run_base);
-    }
+        let (lo, hi) = if frac_a <= frac_b {
+            (frac_a, frac_b)
+        } else {
+            (frac_b, frac_a)
+        };
+        assert!(p.burst_run(lo) <= p.burst_run(hi));
+        assert!(p.burst_run(hi) <= p.burst_run_base + p.burst_run_lowcx_bonus);
+        assert!(p.burst_run(lo) >= p.burst_run_base);
+    });
+}
 
-    #[test]
-    fn cost_model_shares_are_probabilities(_x in 0u8..1) {
-        let c = MsaCostModel::default();
-        prop_assert!((0.0..=1.0).contains(&c.band9_share));
-        let p = MsaPatternModel::default();
-        let sum = p.band_sequential_weight + p.profile_weight
-            + p.band_burst_weight + p.band_random_weight;
-        prop_assert!((sum - 1.0).abs() < 0.02);
-        prop_assert!((0.0..=1.0).contains(&p.copy_gather_weight));
-    }
+#[test]
+fn cost_model_shares_are_probabilities() {
+    let c = MsaCostModel::default();
+    assert!((0.0..=1.0).contains(&c.band9_share));
+    let p = MsaPatternModel::default();
+    let sum =
+        p.band_sequential_weight + p.profile_weight + p.band_burst_weight + p.band_random_weight;
+    assert!((sum - 1.0).abs() < 0.02);
+    assert!((0.0..=1.0).contains(&p.copy_gather_weight));
 }

@@ -1,9 +1,7 @@
 //! GPU device specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// A GPU device model for roofline pricing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,

@@ -41,8 +41,7 @@ impl XlaGraph {
                 let label = e.label.clone();
                 // Roughly a third of one launch's roofline traffic is the
                 // output buffer (buffers are reused across launches).
-                let output_bytes =
-                    (e.bytes / (3.0 * e.launches.max(1) as f64)).max(256.0) as u64;
+                let output_bytes = (e.bytes / (3.0 * e.launches.max(1) as f64)).max(256.0) as u64;
                 let fusible = label.contains("transition")
                     || label.contains("norm")
                     || label.contains("gate")

@@ -148,11 +148,7 @@ fn calc_band_9(
 /// Kernel 2 (`calc_band_10` analogue): delete chain + row best tracking.
 ///
 /// Cell count goes to `counters.band_cells_ds`.
-fn calc_band_10(
-    profile: &ProfileHmm,
-    row: &mut Row,
-    counters: &mut WorkCounters,
-) -> (f32, usize) {
+fn calc_band_10(profile: &ProfileHmm, row: &mut Row, counters: &mut WorkCounters) -> (f32, usize) {
     let width = row.m.len();
     counters.band_cells_ds += width as u64;
     let t = *profile.transitions();
@@ -402,7 +398,11 @@ mod tests {
         );
         let a = r.alignment.expect("homolog aligns");
         assert!(a.is_monotonic());
-        assert!(a.matches() > 20, "expected a long alignment, got {}", a.matches());
+        assert!(
+            a.matches() > 20,
+            "expected a long alignment, got {}",
+            a.matches()
+        );
         let (qs, qe) = a.query_span().unwrap();
         assert!(qe < 50 && qs <= qe);
         assert!(c.traceback_cells > 0);

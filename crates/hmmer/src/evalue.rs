@@ -70,12 +70,11 @@ impl GumbelFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use afsb_rt::Rng;
 
     /// Draw from a Gumbel(mu, lambda) via inverse CDF.
     fn sample(mu: f64, lambda: f64, n: usize, seed: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let u: f64 = rng.gen_range(1e-12..1.0);
@@ -94,7 +93,10 @@ mod tests {
 
     #[test]
     fn survival_monotone_decreasing() {
-        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        let fit = GumbelFit {
+            lambda: 0.7,
+            mu: 5.0,
+        };
         let mut prev = 1.0;
         for s in [-10.0, 0.0, 5.0, 10.0, 20.0, 50.0] {
             let p = fit.survival(s);
@@ -106,27 +108,33 @@ mod tests {
 
     #[test]
     fn survival_at_extremes() {
-        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        let fit = GumbelFit {
+            lambda: 0.7,
+            mu: 5.0,
+        };
         assert!(fit.survival(-100.0) > 0.999999);
         assert!(fit.survival(100.0) < 1e-12);
     }
 
     #[test]
     fn threshold_inversion_roundtrips() {
-        let fit = GumbelFit { lambda: 0.65, mu: 8.0 };
+        let fit = GumbelFit {
+            lambda: 0.65,
+            mu: 8.0,
+        };
         for p in [0.02, 1e-3, 1e-5] {
             let s = fit.score_at_pvalue(p);
             let back = fit.survival(s);
-            assert!(
-                (back - p).abs() / p < 1e-6,
-                "p {p} roundtrips to {back}"
-            );
+            assert!((back - p).abs() / p < 1e-6, "p {p} roundtrips to {back}");
         }
     }
 
     #[test]
     fn evalue_scales_with_database_size() {
-        let fit = GumbelFit { lambda: 0.7, mu: 5.0 };
+        let fit = GumbelFit {
+            lambda: 0.7,
+            mu: 5.0,
+        };
         let e1 = fit.evalue(12.0, 1000);
         let e2 = fit.evalue(12.0, 2000);
         assert!((e2 / e1 - 2.0).abs() < 1e-9);
@@ -138,8 +146,8 @@ mod tests {
         let scores = sample(0.0, 1.0, 50_000, 7);
         let fit = GumbelFit::fit(&scores);
         let thresh = fit.score_at_pvalue(0.02);
-        let frac = scores.iter().filter(|&&s| f64::from(s) > thresh).count() as f64
-            / scores.len() as f64;
+        let frac =
+            scores.iter().filter(|&&s| f64::from(s) > thresh).count() as f64 / scores.len() as f64;
         assert!(
             (frac - 0.02).abs() < 0.005,
             "empirical tail {frac} vs nominal 0.02"

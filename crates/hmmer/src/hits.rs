@@ -114,7 +114,7 @@ mod tests {
             evalue: e,
             alignment: alignment(vec![]),
         };
-        let mut hits = vec![mk("b", 1e-3), mk("a", 1e-3), mk("c", 1e-9)];
+        let mut hits = [mk("b", 1e-3), mk("a", 1e-3), mk("c", 1e-9)];
         hits.sort_by(Hit::compare);
         let ids: Vec<&str> = hits.iter().map(|h| h.target_id.as_str()).collect();
         assert_eq!(ids, vec!["c", "a", "b"]);

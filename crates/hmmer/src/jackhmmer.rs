@@ -67,11 +67,7 @@ pub struct JackhmmerResult {
 /// # Panics
 ///
 /// Panics if the query is not a protein or `max_iterations == 0`.
-pub fn run(
-    query: &Sequence,
-    db: &SequenceDatabase,
-    config: &JackhmmerConfig,
-) -> JackhmmerResult {
+pub fn run(query: &Sequence, db: &SequenceDatabase, config: &JackhmmerConfig) -> JackhmmerResult {
     assert_eq!(
         query.kind(),
         MoleculeKind::Protein,
@@ -79,11 +75,7 @@ pub fn run(
     );
     assert!(config.max_iterations > 0, "need at least one iteration");
 
-    let by_id: HashMap<&str, &Sequence> = db
-        .sequences()
-        .iter()
-        .map(|s| (s.id(), s))
-        .collect();
+    let by_id: HashMap<&str, &Sequence> = db.sequences().iter().map(|s| (s.id(), s)).collect();
     let matrix = SubstitutionMatrix::blosum62();
 
     let mut counters = WorkCounters::default();

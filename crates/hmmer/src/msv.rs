@@ -130,7 +130,11 @@ mod tests {
         let mut c = WorkCounters::default();
         let r = msv_scan(&p, target.codes(), &mut c);
         assert_eq!(r.best_diag, 0);
-        assert!(r.ssv_bits > 10.0, "self-match should score high: {}", r.ssv_bits);
+        assert!(
+            r.ssv_bits > 10.0,
+            "self-match should score high: {}",
+            r.ssv_bits
+        );
         assert_eq!(c.ssv_cells, 100);
     }
 

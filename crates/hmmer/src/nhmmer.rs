@@ -60,11 +60,7 @@ impl Default for NhmmerConfig {
 /// # Panics
 ///
 /// Panics unless `overlap < window_len`.
-pub fn window_targets(
-    records: &[Sequence],
-    window_len: usize,
-    overlap: usize,
-) -> Vec<Sequence> {
+pub fn window_targets(records: &[Sequence], window_len: usize, overlap: usize) -> Vec<Sequence> {
     assert!(overlap < window_len, "overlap must be below the window");
     let step = window_len - overlap;
     let mut out = Vec::with_capacity(records.len());
@@ -119,7 +115,10 @@ pub fn run(query: &Sequence, db: &SequenceDatabase, config: &NhmmerConfig) -> Nh
     let pipeline = Pipeline::new(profile, config.pipeline);
     // Windows must comfortably exceed the query so alignments fit.
     let window_len = config.window_len.max(2 * query.len());
-    let overlap = config.window_overlap.min(window_len - 1).max(query.len().min(window_len - 1));
+    let overlap = config
+        .window_overlap
+        .min(window_len - 1)
+        .max(query.len().min(window_len - 1));
     let windows = window_targets(db.sequences(), window_len, overlap);
     let search = search_records(&pipeline, &windows, config.threads);
     NhmmerResult {
@@ -258,7 +257,10 @@ mod tests {
         let windows = window_targets(&[long.clone(), short.clone()], 400, 100);
         // Short target passes through; long one splits with overlap.
         assert!(windows.iter().any(|w| w.id() == "short"));
-        let long_windows: Vec<_> = windows.iter().filter(|w| w.id().starts_with("long/")).collect();
+        let long_windows: Vec<_> = windows
+            .iter()
+            .filter(|w| w.id().starts_with("long/"))
+            .collect();
         assert!(long_windows.len() >= 3, "got {}", long_windows.len());
         // Coverage: every residue of the long target is inside a window.
         assert_eq!(long_windows[0].id(), "long/1-400");

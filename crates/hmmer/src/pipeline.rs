@@ -130,9 +130,11 @@ impl Pipeline {
     fn bias_bits(&self, target: &Sequence, counters: &mut WorkCounters) -> f32 {
         counters.msv_cells += target.len() as u64;
         let h = complexity::shannon_entropy(target.codes());
-        let full = (self.profile.kind().is_polymer())
-            .then(|| (target.alphabet().len() as f64).log2())
-            .unwrap_or(4.32);
+        let full = if self.profile.kind().is_polymer() {
+            (target.alphabet().len() as f64).log2()
+        } else {
+            4.32
+        };
         ((full - h).max(0.0) * 1.2) as f32
     }
 
@@ -140,12 +142,7 @@ impl Pipeline {
     ///
     /// `n_db` is the database size used for E-values. Returns a [`Hit`]
     /// when every stage passes.
-    pub fn scan(
-        &self,
-        target: &Sequence,
-        n_db: u64,
-        counters: &mut WorkCounters,
-    ) -> Option<Hit> {
+    pub fn scan(&self, target: &Sequence, n_db: u64, counters: &mut WorkCounters) -> Option<Hit> {
         // Stage 1: SSV/MSV ungapped filter.
         let m = msv_scan(&self.profile, target.codes(), counters);
         let mut score = m.msv_bits;
@@ -228,7 +225,10 @@ mod tests {
         let hit = hit.unwrap();
         assert!(hit.evalue < 1e-3, "evalue {}", hit.evalue);
         assert!(hit.alignment.matches() > 40);
-        assert!(p.scan(&rnd, 1000, &mut c).is_none(), "decoy must be rejected");
+        assert!(
+            p.scan(&rnd, 1000, &mut c).is_none(),
+            "decoy must be rejected"
+        );
         assert_eq!(c.hits, 1);
     }
 

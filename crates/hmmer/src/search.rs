@@ -36,11 +36,7 @@ impl SearchResult {
 }
 
 /// Scan one database chunk with a private counter block.
-fn scan_chunk(
-    pipeline: &Pipeline,
-    chunk: &[Sequence],
-    n_db: u64,
-) -> (Vec<Hit>, WorkCounters) {
+fn scan_chunk(pipeline: &Pipeline, chunk: &[Sequence], n_db: u64) -> (Vec<Hit>, WorkCounters) {
     let mut counters = WorkCounters::default();
     let mut reader = BufferedDbReader::new(chunk);
     let mut hits = Vec::new();
@@ -57,11 +53,7 @@ fn scan_chunk(
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn search_database(
-    pipeline: &Pipeline,
-    db: &SequenceDatabase,
-    threads: usize,
-) -> SearchResult {
+pub fn search_database(pipeline: &Pipeline, db: &SequenceDatabase, threads: usize) -> SearchResult {
     search_records(pipeline, db.sequences(), threads)
 }
 
@@ -70,11 +62,7 @@ pub fn search_database(
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn search_records(
-    pipeline: &Pipeline,
-    records: &[Sequence],
-    threads: usize,
-) -> SearchResult {
+pub fn search_records(pipeline: &Pipeline, records: &[Sequence], threads: usize) -> SearchResult {
     assert!(threads > 0, "need at least one thread");
     let n_db = records.len() as u64;
     let chunks: Vec<&[Sequence]> = if records.is_empty() {
@@ -90,20 +78,19 @@ pub fn search_records(
             .map(|c| scan_chunk(pipeline, c, n_db))
             .collect()
     } else {
-        let mut slots: Vec<Option<(Vec<Hit>, WorkCounters)>> = Vec::new();
-        slots.resize_with(chunks.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in &chunks {
-                let pipeline = &pipeline;
-                handles.push(scope.spawn(move |_| scan_chunk(pipeline, chunk, n_db)));
-            }
-            for (i, h) in handles.into_iter().enumerate() {
-                slots[i] = Some(h.join().expect("search worker must not panic"));
-            }
+        // std::thread::scope joins all workers before returning; handles
+        // are collected in chunk order so the later counter merge is
+        // deterministic regardless of thread scheduling.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move || scan_chunk(pipeline, chunk, n_db)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker must not panic"))
+                .collect()
         })
-        .expect("search scope must not panic");
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
     };
 
     let mut hits = Vec::new();
@@ -194,7 +181,10 @@ mod tests {
         // Chunks are near-even.
         let max = r.per_worker.iter().map(|c| c.db_sequences).max().unwrap();
         let min = r.per_worker.iter().map(|c| c.db_sequences).min().unwrap();
-        assert!(max - min <= (db.len() as u64 / 3), "imbalanced: {min}..{max}");
+        assert!(
+            max - min <= (db.len() as u64 / 3),
+            "imbalanced: {min}..{max}"
+        );
     }
 
     #[test]
@@ -208,6 +198,43 @@ mod tests {
             r4.total.peak_state_bytes,
             r1.total.peak_state_bytes
         );
+    }
+
+    #[test]
+    fn worker_count_determinism_regression() {
+        // The hermetic-build determinism guarantee: the same search on the
+        // same records must produce identical aggregate work and identical
+        // hit lists with 1, 2 and 4 workers. Two counters are intentional
+        // exceptions: `peak_state_bytes` (merge_concurrent sums peaks
+        // across live workers, so it grows with the worker count by
+        // design) and `buffer_fills` (each worker's private reader refills
+        // its own buffer, so refill boundaries depend on the chunking).
+        let (pipeline, db) = setup();
+        let baseline = search_database(&pipeline, &db, 1);
+        for threads in [2usize, 4] {
+            let r = search_database(&pipeline, &db, threads);
+            let mut total = r.total;
+            total.peak_state_bytes = baseline.total.peak_state_bytes;
+            total.buffer_fills = baseline.total.buffer_fills;
+            assert_eq!(
+                total, baseline.total,
+                "aggregate counters must not depend on worker count ({threads} workers)"
+            );
+            let base_hits: Vec<(&str, f32, f64)> = baseline
+                .hits
+                .iter()
+                .map(|h| (h.target_id.as_str(), h.score_bits, h.evalue))
+                .collect();
+            let hits: Vec<(&str, f32, f64)> = r
+                .hits
+                .iter()
+                .map(|h| (h.target_id.as_str(), h.score_bits, h.evalue))
+                .collect();
+            assert_eq!(
+                hits, base_hits,
+                "sorted hit list must not depend on worker count ({threads} workers)"
+            );
+        }
     }
 
     #[test]

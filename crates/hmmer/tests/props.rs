@@ -7,9 +7,9 @@ use afsb_hmmer::evalue::GumbelFit;
 use afsb_hmmer::msv::msv_scan;
 use afsb_hmmer::profile::ProfileHmm;
 use afsb_hmmer::substitution::SubstitutionMatrix;
+use afsb_rt::check::{run, Config};
 use afsb_seq::alphabet::MoleculeKind;
 use afsb_seq::generate::{background_sequence, rng_for};
-use proptest::prelude::*;
 
 fn profile_and_target(
     seed: u64,
@@ -25,82 +25,147 @@ fn profile_and_target(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn forward_dominates_viterbi(seed in 0u64..10_000, qlen in 8usize..60, tlen in 8usize..120) {
+#[test]
+fn forward_dominates_viterbi() {
+    run("forward_dominates_viterbi", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
+        let qlen = g.range(8usize..60);
+        let tlen = g.range(8usize..120);
         let (p, t) = profile_and_target(seed, qlen, tlen);
         let mut c = WorkCounters::default();
         let v = dp::viterbi_score(&p, t.codes(), &mut c);
         let f = dp::forward_score(&p, t.codes(), &mut c);
-        prop_assert!(f >= v - 1e-3, "forward {} < viterbi {}", f, v);
-    }
+        assert!(f >= v - 1e-3, "forward {f} < viterbi {v}");
+    });
+}
 
-    #[test]
-    fn banded_never_beats_full(seed in 0u64..10_000, diag in -20i64..60, width in 2usize..20) {
+#[test]
+fn banded_never_beats_full() {
+    run("banded_never_beats_full", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
+        let diag = g.range(-20i64..60);
+        let width = g.range(2usize..20);
         let (p, t) = profile_and_target(seed, 40, 90);
         let mut c = WorkCounters::default();
         let full = dp::viterbi_score(&p, t.codes(), &mut c);
-        let banded = banded_viterbi(&p, t.codes(), Band { diag, half_width: width }, &mut c);
-        prop_assert!(banded.score_bits <= full + 1e-3);
-    }
+        let banded = banded_viterbi(
+            &p,
+            t.codes(),
+            Band {
+                diag,
+                half_width: width,
+            },
+            &mut c,
+        );
+        assert!(banded.score_bits <= full + 1e-3);
+    });
+}
 
-    #[test]
-    fn wider_band_never_worse(seed in 0u64..10_000) {
+#[test]
+fn wider_band_never_worse() {
+    run("wider_band_never_worse", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
         let (p, t) = profile_and_target(seed, 40, 90);
         let mut c = WorkCounters::default();
-        let narrow = banded_viterbi(&p, t.codes(), Band { diag: 0, half_width: 4 }, &mut c);
-        let wide = banded_viterbi(&p, t.codes(), Band { diag: 0, half_width: 16 }, &mut c);
-        prop_assert!(wide.score_bits >= narrow.score_bits - 1e-3);
-    }
+        let narrow = banded_viterbi(
+            &p,
+            t.codes(),
+            Band {
+                diag: 0,
+                half_width: 4,
+            },
+            &mut c,
+        );
+        let wide = banded_viterbi(
+            &p,
+            t.codes(),
+            Band {
+                diag: 0,
+                half_width: 16,
+            },
+            &mut c,
+        );
+        assert!(wide.score_bits >= narrow.score_bits - 1e-3);
+    });
+}
 
-    #[test]
-    fn traceback_monotone_and_in_bounds(seed in 0u64..10_000) {
+#[test]
+fn traceback_monotone_and_in_bounds() {
+    run("traceback_monotone_and_in_bounds", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
         let (p, t) = profile_and_target(seed, 50, 100);
         let mut c = WorkCounters::default();
-        let r = banded_viterbi(&p, t.codes(), Band { diag: 10, half_width: 12 }, &mut c);
+        let r = banded_viterbi(
+            &p,
+            t.codes(),
+            Band {
+                diag: 10,
+                half_width: 12,
+            },
+            &mut c,
+        );
         if let Some(a) = r.alignment {
-            prop_assert!(a.is_monotonic());
+            assert!(a.is_monotonic());
             for &(q, ti) in &a.pairs {
-                prop_assert!((q as usize) < p.len());
-                prop_assert!((ti as usize) < t.len());
+                assert!((q as usize) < p.len());
+                assert!((ti as usize) < t.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn msv_cell_count_exact(seed in 0u64..10_000, qlen in 5usize..50, tlen in 5usize..120) {
+#[test]
+fn msv_cell_count_exact() {
+    run("msv_cell_count_exact", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
+        let qlen = g.range(5usize..50);
+        let tlen = g.range(5usize..120);
         let (p, t) = profile_and_target(seed, qlen, tlen);
         let mut c = WorkCounters::default();
         msv_scan(&p, t.codes(), &mut c);
-        prop_assert_eq!(c.ssv_cells, (qlen * tlen) as u64);
-    }
+        assert_eq!(c.ssv_cells, (qlen * tlen) as u64);
+    });
+}
 
-    #[test]
-    fn msv_at_least_ssv(seed in 0u64..10_000) {
+#[test]
+fn msv_at_least_ssv() {
+    run("msv_at_least_ssv", Config::cases(48), |g| {
+        let seed = g.range(0u64..10_000);
         let (p, t) = profile_and_target(seed, 30, 80);
         let mut c = WorkCounters::default();
         let r = msv_scan(&p, t.codes(), &mut c);
-        prop_assert!(r.msv_bits >= r.ssv_bits - 1e-6);
-        prop_assert!(r.best_len >= 1);
-        prop_assert!(r.best_end <= t.len());
-    }
+        assert!(r.msv_bits >= r.ssv_bits - 1e-6);
+        assert!(r.best_len >= 1);
+        assert!(r.best_end <= t.len());
+    });
+}
 
-    #[test]
-    fn gumbel_survival_monotone(mu in -20.0f64..20.0, lambda in 0.1f64..3.0, a in -50.0f64..50.0, delta in 0.0f64..50.0) {
+#[test]
+fn gumbel_survival_monotone() {
+    run("gumbel_survival_monotone", Config::cases(48), |g| {
+        let mu = g.range(-20.0f64..20.0);
+        let lambda = g.range(0.1f64..3.0);
+        let a = g.range(-50.0f64..50.0);
+        let delta = g.range(0.0f64..50.0);
         let fit = GumbelFit { lambda, mu };
         let pa = fit.survival(a);
         let pb = fit.survival(a + delta);
-        prop_assert!(pb <= pa + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&pa));
-    }
+        assert!(pb <= pa + 1e-12);
+        assert!((0.0..=1.0).contains(&pa));
+    });
+}
 
-    #[test]
-    fn evalue_linear_in_database_size(score in -5.0f64..60.0, n in 1u64..1_000_000) {
-        let fit = GumbelFit { lambda: 0.67, mu: 6.0 };
+#[test]
+fn evalue_linear_in_database_size() {
+    run("evalue_linear_in_database_size", Config::cases(48), |g| {
+        let score = g.range(-5.0f64..60.0);
+        let n = g.range(1u64..1_000_000);
+        let fit = GumbelFit {
+            lambda: 0.67,
+            mu: 6.0,
+        };
         let e1 = fit.evalue(score, n);
         let e2 = fit.evalue(score, 2 * n);
-        prop_assert!((e2 - 2.0 * e1).abs() <= 1e-9 * e1.max(1.0));
-    }
+        assert!((e2 - 2.0 * e1).abs() <= 1e-9 * e1.max(1.0));
+    });
 }

@@ -8,12 +8,11 @@
 //! recurrent memory traffic the paper calls out as new relative to AF2.
 
 use crate::config::ModelConfig;
+use afsb_rt::Rng;
 use afsb_tensor::attention::MultiHeadAttention;
 use afsb_tensor::cost::CostLog;
 use afsb_tensor::nn::{Linear, Transition};
 use afsb_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of token-transformer blocks at paper scale.
 const GLOBAL_BLOCKS: usize = 24;
@@ -68,10 +67,7 @@ impl LocalBlock {
         while start < n {
             let end = (start + self.window).min(n);
             let len = end - start;
-            let win = Tensor::from_vec(
-                vec![len, d],
-                x.data()[start * d..end * d].to_vec(),
-            );
+            let win = Tensor::from_vec(vec![len, d], x.data()[start * d..end * d].to_vec());
             let attended = self.attention.forward(&win, &win, None);
             out.data_mut()[start * d..end * d].copy_from_slice(attended.data());
             start = end;
@@ -196,19 +192,13 @@ impl DiffusionModule {
     /// and logs the paper-scale cost of every step for the true counts
     /// (`n_tokens` tokens, `atoms` atoms, [`DIFFUSION_SAMPLES`] samples).
     /// Returns the final sim-width coordinates.
-    pub fn sample(
-        &self,
-        n_tokens: usize,
-        atoms: usize,
-        seed: u64,
-        log: &mut CostLog,
-    ) -> Tensor {
+    pub fn sample(&self, n_tokens: usize, atoms: usize, seed: u64, log: &mut CostLog) -> Tensor {
         let m_sim = (self.config.sim_tokens(n_tokens) * 4).max(8);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut coords = Tensor::zeros(vec![m_sim, 3]);
         let sigmas = noise_schedule(self.config.diffusion_steps, 160.0, 0.05);
         for v in coords.data_mut() {
-            *v = rng.gen_range(-1.0..1.0) * sigmas[0];
+            *v = rng.gen_range(-1.0f32..1.0) * sigmas[0];
         }
         for &sigma in &sigmas {
             coords = self.denoise_step(&coords, sigma);
@@ -244,8 +234,8 @@ impl DiffusionModule {
         // (24·c²·N terms) plus full N² attention with pair conditioning
         // (the 12·N²·c term: logits, values and the conditioning bias all
         // touch every token pair).
-        let global_flops = GLOBAL_BLOCKS as f64
-            * (8.0 * n * ct * ct + 12.0 * n * n * ct + 16.0 * n * ct * ct);
+        let global_flops =
+            GLOBAL_BLOCKS as f64 * (8.0 * n * ct * ct + 12.0 * n * n * ct + 16.0 * n * ct * ct);
         let global_bytes = GLOBAL_BLOCKS as f64 * (8.0 * n * ct + 6.0 * n * n);
         log.record(
             "diffusion/global_attention",
@@ -286,7 +276,11 @@ mod tests {
         let coords = module.sample(40, 320, 2, &mut log);
         // The final coordinates must be far tamer than the initial noise
         // scale (sigma_max = 160).
-        assert!(coords.max_abs() < 80.0, "coords magnitude {}", coords.max_abs());
+        assert!(
+            coords.max_abs() < 80.0,
+            "coords magnitude {}",
+            coords.max_abs()
+        );
         assert!(coords.max_abs() > 0.0);
     }
 
@@ -301,10 +295,7 @@ mod tests {
         // Steps × 3 labels entries.
         assert_eq!(log.entries().len(), cfg.diffusion_steps * 3);
         // Global attention dominates (Fig. 9's diffusion finding).
-        assert!(
-            by["diffusion/global_attention"].0
-                > by["diffusion/local_attention_encoder"].0
-        );
+        assert!(by["diffusion/global_attention"].0 > by["diffusion/local_attention_encoder"].0);
     }
 
     #[test]
@@ -325,7 +316,10 @@ mod tests {
             large > small,
             "global attention share must grow: {small} -> {large}"
         );
-        assert!(small > 0.5, "global attention dominates even at 2PV7: {small}");
+        assert!(
+            small > 0.5,
+            "global attention dominates even at 2PV7: {small}"
+        );
     }
 
     #[test]

@@ -104,8 +104,16 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let emb = InputEmbedder::new(&cfg, 2);
         let mut log = CostLog::new();
-        let a = emb.embed(&featurize(&sample(SampleId::S2pv7).assembly), &cfg, &mut log);
-        let b = emb.embed(&featurize(&sample(SampleId::S1yy9).assembly), &cfg, &mut log);
+        let a = emb.embed(
+            &featurize(&sample(SampleId::S2pv7).assembly),
+            &cfg,
+            &mut log,
+        );
+        let b = emb.embed(
+            &featurize(&sample(SampleId::S1yy9).assembly),
+            &cfg,
+            &mut log,
+        );
         assert!(!a.0.approx_eq(&b.0, 1e-9));
     }
 
@@ -115,8 +123,16 @@ mod tests {
         let emb = InputEmbedder::new(&cfg, 3);
         let mut log_small = CostLog::new();
         let mut log_large = CostLog::new();
-        emb.embed(&featurize(&sample(SampleId::S7rce).assembly), &cfg, &mut log_small);
-        emb.embed(&featurize(&sample(SampleId::S6qnr).assembly), &cfg, &mut log_large);
+        emb.embed(
+            &featurize(&sample(SampleId::S7rce).assembly),
+            &cfg,
+            &mut log_small,
+        );
+        emb.embed(
+            &featurize(&sample(SampleId::S6qnr).assembly),
+            &cfg,
+            &mut log_large,
+        );
         let ratio = log_large.total_flops() / log_small.total_flops();
         let n_ratio = 1395.0_f64 / 306.0;
         assert!(ratio > n_ratio * n_ratio * 0.8, "ratio {ratio}");

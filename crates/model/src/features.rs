@@ -56,8 +56,7 @@ impl FeaturizedInput {
     pub fn relpos(&self, a: usize, b: usize) -> i32 {
         const CLAMP: i32 = 32;
         if self.same_chain(a, b) {
-            (self.tokens[b].position as i32 - self.tokens[a].position as i32)
-                .clamp(-CLAMP, CLAMP)
+            (self.tokens[b].position as i32 - self.tokens[a].position as i32).clamp(-CLAMP, CLAMP)
         } else {
             CLAMP + 1
         }

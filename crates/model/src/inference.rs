@@ -1,8 +1,8 @@
 //! End-to-end inference: featurize → embed → MSA module → Pairformer →
 //! Diffusion → confidence.
 
-use crate::config::ModelConfig;
 use crate::confidence::ConfidenceHeads;
+use crate::config::ModelConfig;
 use crate::diffusion::{DiffusionModule, DIFFUSION_SAMPLES};
 use crate::embedder::InputEmbedder;
 use crate::features::{featurize, FeaturizedInput};
@@ -139,7 +139,10 @@ mod tests {
         let ws_yy9 = working_set_bytes(881, yy9.total_residues() * 8, &cfg);
         let ws_qnr = working_set_bytes(1395, qnr.total_residues() * 9, &cfg);
         assert!(ws_yy9 < 16 << 30, "1YY9 fits the RTX 4080: {ws_yy9}");
-        assert!(ws_qnr > 16 << 30, "6QNR must spill on the RTX 4080: {ws_qnr}");
+        assert!(
+            ws_qnr > 16 << 30,
+            "6QNR must spill on the RTX 4080: {ws_qnr}"
+        );
         // And both fit the H100's 80 GiB.
         assert!(ws_qnr < 80 << 30);
     }

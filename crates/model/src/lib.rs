@@ -21,8 +21,8 @@
 //! pair representation `[N, N, c_pair]`, single representation
 //! `[N, c_single]`, atoms `M ≈ N × atoms_per_token`.
 
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod diffusion;
 pub mod embedder;
 pub mod features;

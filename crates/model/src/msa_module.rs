@@ -132,9 +132,7 @@ impl MsaModule {
             let nf = n_paper as f64;
             let c = C_MSA as f64;
             let r = c / 2.0;
-            let flops = mf * nf * nf * r * r * 2.0
-                + 2.0 * mf * nf * nf * c
-                + 8.0 * mf * nf * c * c;
+            let flops = mf * nf * nf * r * r * 2.0 + 2.0 * mf * nf * nf * c + 8.0 * mf * nf * c * c;
             let bytes = 2.0 * mf * nf * c * 4.0 + 2.0 * nf * nf * self.config.c_pair as f64;
             log.record("msa_module", flops, bytes, 1);
         }

@@ -7,9 +7,7 @@
 //! paper's motivation section centers on.
 
 use crate::config::ModelConfig;
-use crate::triangle::{
-    self, Orientation, TriangleAttention, TriangleMultiplication,
-};
+use crate::triangle::{self, Orientation, TriangleAttention, TriangleMultiplication};
 use afsb_tensor::attention::MultiHeadAttention;
 use afsb_tensor::cost::CostLog;
 use afsb_tensor::nn::{Linear, Transition};
@@ -87,7 +85,12 @@ impl PairformerBlock {
         let nf = n as f64;
         // Pair transition: two [N², c]×[c, 4c] matmuls.
         let pt_flops = 16.0 * nf * nf * (cp * cp) as f64;
-        log.record("pairformer/pair_transition", pt_flops, 6.0 * nf * nf * cp as f64, 1);
+        log.record(
+            "pairformer/pair_transition",
+            pt_flops,
+            6.0 * nf * nf * cp as f64,
+            1,
+        );
         // Single attention with pair bias: projections + N² logits/values
         // + bias projection from the pair map.
         let sa_flops = 8.0 * nf * (cs * cs) as f64
@@ -100,7 +103,12 @@ impl PairformerBlock {
             1,
         );
         let st_flops = 16.0 * nf * (cs * cs) as f64;
-        log.record("pairformer/single_transition", st_flops, 6.0 * nf * cs as f64, 1);
+        log.record(
+            "pairformer/single_transition",
+            st_flops,
+            6.0 * nf * cs as f64,
+            1,
+        );
     }
 }
 
@@ -189,8 +197,7 @@ mod tests {
         let mut log = CostLog::new();
         PairformerBlock::log_paper_costs(484, &cfg, &mut log);
         let by = log.by_label();
-        let tri = by["pairformer/triangle_attention"].0
-            + by["pairformer/triangle_mult_update"].0;
+        let tri = by["pairformer/triangle_attention"].0 + by["pairformer/triangle_mult_update"].0;
         let total: f64 = by.values().map(|v| v.0).sum();
         let share = tri / total;
         assert!(

@@ -104,7 +104,10 @@ mod tests {
         let s = line(6);
         assert_eq!(s.rmsd(&s), 0.0);
         let shifted = Structure::new(
-            s.coords().iter().map(|c| [c[0] + 3.0, c[1], c[2]]).collect(),
+            s.coords()
+                .iter()
+                .map(|c| [c[0] + 3.0, c[1], c[2]])
+                .collect(),
             vec![80.0; 6],
         );
         assert!((s.rmsd(&shifted) - 3.0).abs() < 1e-6);

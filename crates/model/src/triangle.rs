@@ -84,8 +84,7 @@ impl TriangleMultiplication {
                     let b_off = (bi * n + bj) * c;
                     let o_off = (i * n + j) * c;
                     for d in 0..c {
-                        out.data_mut()[o_off + d] +=
-                            a.data()[a_off + d] * b.data()[b_off + d];
+                        out.data_mut()[o_off + d] += a.data()[a_off + d] * b.data()[b_off + d];
                     }
                 }
             }
@@ -212,8 +211,7 @@ impl TriangleAttention {
         let n = n as f64;
         let c = c as f64;
         let h = heads as f64;
-        let flops =
-            ATTN_COST_SCALE * (8.0 * n * n * c * c + 4.0 * n * n * n * c + n * n * n * h);
+        let flops = ATTN_COST_SCALE * (8.0 * n * n * c * c + 4.0 * n * n * n * c + n * n * n * h);
         let bytes = 16.0 * n * n * c + 2.0 * n * n * n * h;
         (flops, bytes)
     }
@@ -270,7 +268,10 @@ mod tests {
         }
         let a = TriangleMultiplication::new(d, Orientation::Outgoing, 9).forward(&z);
         let b = TriangleMultiplication::new(d, Orientation::Incoming, 9).forward(&z);
-        assert!(a.approx_eq(&b, 1e-4), "symmetric input keeps orientations equal");
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "symmetric input keeps orientations equal"
+        );
     }
 
     #[test]
@@ -317,8 +318,6 @@ mod tests {
         assert!(by.contains_key("pairformer/triangle_mult_update"));
         assert!(by.contains_key("pairformer/triangle_attention"));
         // Attention is the more expensive triangle layer at N=484.
-        assert!(
-            by["pairformer/triangle_attention"].0 > by["pairformer/triangle_mult_update"].0
-        );
+        assert!(by["pairformer/triangle_attention"].0 > by["pairformer/triangle_mult_update"].0);
     }
 }

@@ -1,0 +1,220 @@
+//! Wall-clock micro-benchmark harness.
+//!
+//! A minimal replacement for `criterion` suited to `harness = false`
+//! bench targets: per benchmark it auto-scales an inner iteration count to
+//! a target sample duration, runs warmup rounds, collects timed samples
+//! and reports min/median/max per iteration.
+//!
+//! Environment knobs:
+//!
+//! - `AFSB_BENCH_SAMPLES`   — timed samples per benchmark (default 10).
+//! - `AFSB_BENCH_WARMUP`    — warmup samples (default 3).
+//! - `AFSB_BENCH_TARGET_MS` — target wall time per sample (default 20 ms).
+//!
+//! ```no_run
+//! let mut bench = afsb_rt::bench::Bench::from_env();
+//! bench.run("matmul_64", || { /* work */ });
+//! bench.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary of one benchmark's timed samples (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The harness: accumulates summaries, prints a table on [`Bench::finish`].
+#[derive(Debug)]
+pub struct Bench {
+    warmup: u32,
+    samples: u32,
+    target: Duration,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench {
+            warmup: 3,
+            samples: 10,
+            target: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+impl Bench {
+    /// Default harness with environment overrides applied.
+    pub fn from_env() -> Bench {
+        let mut b = Bench::default();
+        if let Some(v) = env_u64("AFSB_BENCH_SAMPLES") {
+            b.samples = v.clamp(1, 10_000) as u32;
+        }
+        if let Some(v) = env_u64("AFSB_BENCH_WARMUP") {
+            b.warmup = v.min(1000) as u32;
+        }
+        if let Some(v) = env_u64("AFSB_BENCH_TARGET_MS") {
+            b.target = Duration::from_millis(v.clamp(1, 60_000));
+        }
+        b
+    }
+
+    /// Benchmark a closure. The return value is passed through
+    /// [`black_box`] so the work is not optimized away.
+    pub fn run<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        self.run_batched(name, || (), |()| routine());
+    }
+
+    /// Benchmark a closure with untimed per-iteration setup (the analogue
+    /// of criterion's `iter_batched`).
+    pub fn run_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Probe once to pick an iteration count near the target duration.
+        let probe_start = Instant::now();
+        black_box(routine(setup()));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut sample_ns = Vec::with_capacity(self.samples as usize);
+        for round in 0..(self.warmup + self.samples) {
+            // Setup is untimed: pre-build the batch, then time the routine
+            // sweep over it.
+            let batch: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in batch {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if round >= self.warmup {
+                sample_ns.push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+            }
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let summary = Summary {
+            name: name.to_owned(),
+            min_ns: sample_ns[0],
+            median_ns: sample_ns[sample_ns.len() / 2],
+            max_ns: sample_ns[sample_ns.len() - 1],
+            iters,
+            samples: sample_ns.len(),
+        };
+        println!(
+            "{:<40} {:>12}/iter  (min {}, max {}, {} iters x {} samples)",
+            summary.name,
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.min_ns),
+            fmt_ns(summary.max_ns),
+            summary.iters,
+            summary.samples,
+        );
+        self.results.push(summary);
+    }
+
+    /// Summaries collected so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Print the final table.
+    pub fn finish(self) {
+        println!(
+            "\n=== bench summary ({} benchmarks) ===",
+            self.results.len()
+        );
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}",
+            "name", "median", "min", "max"
+        );
+        for s in &self.results {
+            println!(
+                "{:<40} {:>12} {:>12} {:>12}",
+                s.name,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns)
+            );
+        }
+    }
+}
+
+/// Human-friendly nanosecond formatting.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_summaries_with_sane_ordering() {
+        let mut b = Bench {
+            warmup: 1,
+            samples: 3,
+            target: Duration::from_micros(200),
+            results: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.run("spin", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert_eq!(s.samples, 3);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.min_ns > 0.0);
+    }
+
+    #[test]
+    fn batched_setup_is_untimed() {
+        let mut b = Bench {
+            warmup: 0,
+            samples: 2,
+            target: Duration::from_micros(100),
+            results: Vec::new(),
+        };
+        b.run_batched("sum_vec", || vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2e9).contains(" s"));
+    }
+}

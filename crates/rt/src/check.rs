@@ -1,0 +1,197 @@
+//! Seeded property-testing harness.
+//!
+//! A deliberately small replacement for `proptest`: each property runs a
+//! configured number of cases, every case drawing its inputs from a
+//! deterministically derived PRNG stream. There is no shrinking — instead
+//! a failing case prints its **case seed**, and re-running with
+//! `AFSB_CHECK_SEED=<seed>` replays exactly that case:
+//!
+//! ```text
+//! [rt::check] property 'forward_dominates_viterbi' failed on case 17
+//! [rt::check] replay with: AFSB_CHECK_SEED=0x3fa9... cargo test ...
+//! ```
+//!
+//! Environment knobs:
+//!
+//! - `AFSB_CHECK_CASES` — override the case count for every property.
+//! - `AFSB_CHECK_SEED`  — run only the single case with this seed
+//!   (decimal or `0x`-prefixed hex).
+
+use crate::rng::{mix, Rng, SampleRange};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-property run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Base seed the per-case seeds are derived from.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Default base seed (any fixed value works; this one is arbitrary).
+    const BASE_SEED: u64 = 0xAF5B_C4EC_0000_0001;
+
+    /// A config running `n` cases with the default base seed.
+    pub fn cases(n: u64) -> Config {
+        Config {
+            cases: n,
+            seed: Config::BASE_SEED,
+        }
+    }
+}
+
+impl Default for Config {
+    /// 256 cases — the harness's analogue of proptest's default.
+    fn default() -> Config {
+        Config::cases(256)
+    }
+}
+
+/// Input generator handed to each property case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Direct access to the underlying PRNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform draw from a range (integer or float, see
+    /// [`Rng::gen_range`]).
+    pub fn range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        self.rng.gen_range(range)
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// A vector with a length drawn from `len`, elements from `element`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut element: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.range(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick needs a non-empty slice");
+        &items[self.range(0..items.len())]
+    }
+
+    /// An ASCII string over `charset` with a length drawn from `len`.
+    pub fn ascii(&mut self, charset: &[u8], len: Range<usize>) -> String {
+        let bytes = self.vec(len, |g| *g.pick(charset));
+        String::from_utf8(bytes).expect("charset must be ascii")
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("[rt::check] ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
+/// Run a property: `cases` independent inputs, panic on the first failure
+/// with a replayable case seed.
+///
+/// # Panics
+///
+/// Re-raises the property's own panic after printing the failing seed.
+pub fn run(name: &str, config: Config, property: impl Fn(&mut Gen)) {
+    if let Some(seed) = env_u64("AFSB_CHECK_SEED") {
+        eprintln!("[rt::check] '{name}': replaying single case seed {seed:#x}");
+        let mut gen = Gen {
+            rng: Rng::seed_from_u64(seed),
+        };
+        property(&mut gen);
+        return;
+    }
+    let cases = env_u64("AFSB_CHECK_CASES").unwrap_or(config.cases).max(1);
+    for case in 0..cases {
+        let case_seed = mix(config.seed, case);
+        let mut gen = Gen {
+            rng: Rng::seed_from_u64(case_seed),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[rt::check] property '{name}' failed on case {case}/{cases} \
+                 (seed {case_seed:#x})"
+            );
+            eprintln!("[rt::check] replay with: AFSB_CHECK_SEED={case_seed:#x} cargo test {name}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_property_holds() {
+        run("tautology", Config::cases(64), |g| {
+            let v = g.range(0u64..100);
+            assert!(v < 100);
+        });
+    }
+
+    #[test]
+    fn cases_draw_different_inputs() {
+        let values = std::cell::RefCell::new(Vec::new());
+        run("collect", Config::cases(32), |g| {
+            // Gen streams are per-case, so first draws differ across cases.
+            values.borrow_mut().push(g.range(0u64..u64::MAX));
+        });
+        let mut values = values.into_inner();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() > 30, "distinct first draws: {}", values.len());
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_report() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run("always_fails", Config::cases(8), |_| {
+                panic!("intentional");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn generator_helpers_cover_shapes() {
+        run("helpers", Config::cases(16), |g| {
+            let v = g.vec(1..10, |g| g.range(0u32..5));
+            assert!(!v.is_empty() && v.len() < 10);
+            assert!(v.iter().all(|&x| x < 5));
+            let s = g.ascii(b"ACGU", 1..20);
+            assert!(!s.is_empty());
+            assert!(s.bytes().all(|b| b"ACGU".contains(&b)));
+            let _ = g.bool();
+            let p = g.pick(&[10, 20, 30]);
+            assert!([10, 20, 30].contains(p));
+        });
+    }
+}

@@ -5,12 +5,10 @@
 //! codes (`X`, `N`) map to a dedicated *any* code so database text can be
 //! scanned without rejection.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The molecular type of a chain, mirroring the AF3 input schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "camelCase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoleculeKind {
     /// Amino-acid chain (20-letter alphabet).
     Protein,

@@ -195,7 +195,10 @@ mod tests {
     use super::*;
 
     fn protein(id: &str, text: &str) -> Chain {
-        Chain::new(id, Sequence::parse(id, MoleculeKind::Protein, text).unwrap())
+        Chain::new(
+            id,
+            Sequence::parse(id, MoleculeKind::Protein, text).unwrap(),
+        )
     }
 
     #[test]

@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn poly_q_detected() {
-        let text = format!("{}{}{}", "MKVLWAADEFGHIRSTNY", "Q".repeat(30), "WLKMHEFDSTRANGVICY");
+        let text = format!(
+            "{}{}{}",
+            "MKVLWAADEFGHIRSTNY",
+            "Q".repeat(30),
+            "WLKMHEFDSTRANGVICY"
+        );
         let p = profile(&prot(&text));
         assert!(p.has_low_complexity());
         assert_eq!(p.regions.len(), 1);
@@ -192,7 +197,11 @@ mod tests {
         // A shuffled diverse sequence should have no low-complexity calls.
         let text = "ACDEFGHIKLMNPQRSTVWYYWVTSRQPNMLKIHGFEDCAACDEFGHIKLMNPQRSTVWY";
         let p = profile(&prot(text));
-        assert!(!p.has_low_complexity(), "fraction {}", p.low_complexity_fraction);
+        assert!(
+            !p.has_low_complexity(),
+            "fraction {}",
+            p.low_complexity_fraction
+        );
         assert!(p.regions.is_empty());
     }
 

@@ -20,11 +20,9 @@
 use crate::alphabet::MoleculeKind;
 use crate::generate::{self, rng_for};
 use crate::sequence::Sequence;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters describing a synthetic database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatabaseSpec {
     /// Database name (e.g. `uniref90_sim`).
     pub name: String,
@@ -110,7 +108,9 @@ impl SequenceDatabase {
                 let identity = 0.92 - 0.05 * fi as f64 / (spec.family_size.max(2) - 1) as f64 * 6.0;
                 let identity = identity.clamp(0.45, 0.95);
                 let id = format!("{}|fam{}_{}", spec.name, qi, fi);
-                sequences.push(generate::mutate_homolog(query, id, identity, 0.01, &mut rng));
+                sequences.push(generate::mutate_homolog(
+                    query, id, identity, 0.01, &mut rng,
+                ));
                 planted += 1;
             }
         }
@@ -218,7 +218,11 @@ pub enum StandardDb {
 impl StandardDb {
     /// All protein databases searched per protein chain.
     pub fn protein_set() -> &'static [StandardDb] {
-        &[StandardDb::Uniref90, StandardDb::Mgnify, StandardDb::PdbSeqres]
+        &[
+            StandardDb::Uniref90,
+            StandardDb::Mgnify,
+            StandardDb::PdbSeqres,
+        ]
     }
 
     /// All RNA databases searched per RNA chain.

@@ -38,8 +38,8 @@ pub fn parse_fasta(text: &str, kind: MoleculeKind) -> Result<Vec<Sequence>, Pars
     let mut body = String::new();
 
     let flush = |id: &mut Option<String>,
-                     body: &mut String,
-                     out: &mut Vec<Sequence>|
+                 body: &mut String,
+                 out: &mut Vec<Sequence>|
      -> Result<(), ParseSeqError> {
         if let Some(name) = id.take() {
             if body.is_empty() {

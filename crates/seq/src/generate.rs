@@ -6,21 +6,21 @@
 
 use crate::alphabet::{Alphabet, MoleculeKind};
 use crate::sequence::Sequence;
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use afsb_rt::{Rng, WeightedIndex};
 
 /// Create a deterministic RNG from a domain label and a numeric seed.
 ///
 /// Using a label keeps streams for different purposes (database build,
 /// homolog mutation, sample construction) independent even with equal
 /// numeric seeds.
-pub fn rng_for(label: &str, seed: u64) -> StdRng {
+pub fn rng_for(label: &str, seed: u64) -> Rng {
     let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
     for b in label.bytes() {
-        state = state.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+        state = state
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(u64::from(b));
     }
-    StdRng::seed_from_u64(state)
+    Rng::seed_from_u64(state)
 }
 
 /// Sample a sequence from the alphabet's background composition.
@@ -32,7 +32,7 @@ pub fn background_sequence(
     id: impl Into<String>,
     kind: MoleculeKind,
     len: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Sequence {
     assert!(len > 0, "sequence length must be positive");
     let alphabet = Alphabet::for_kind(kind);
@@ -57,7 +57,7 @@ pub fn markov_sequence(
     kind: MoleculeKind,
     len: usize,
     stickiness: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Sequence {
     assert!(len > 0, "sequence length must be positive");
     assert!(
@@ -93,7 +93,7 @@ pub fn mutate_homolog(
     id: impl Into<String>,
     identity: f64,
     indel_rate: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Sequence {
     assert!((0.0..=1.0).contains(&identity), "identity in [0,1]");
     assert!((0.0..=1.0).contains(&indel_rate), "indel_rate in [0,1]");
@@ -142,7 +142,7 @@ pub fn insert_homopolymer(seq: &Sequence, at: usize, residue: char, count: usize
         .unwrap_or_else(|| panic!("residue {residue:?} not in alphabet"));
     let mut codes = Vec::with_capacity(seq.len() + count);
     codes.extend_from_slice(&seq.codes()[..at]);
-    codes.extend(std::iter::repeat(code).take(count));
+    codes.extend(std::iter::repeat_n(code, count));
     codes.extend_from_slice(&seq.codes()[at..]);
     Sequence::from_codes(seq.id().to_owned(), seq.kind(), codes)
 }
@@ -159,7 +159,10 @@ pub fn tandem_repeat(
     unit: &str,
     copies: usize,
 ) -> Sequence {
-    assert!(!unit.is_empty() && copies > 0, "unit and copies must be non-empty");
+    assert!(
+        !unit.is_empty() && copies > 0,
+        "unit and copies must be non-empty"
+    );
     let text = unit.repeat(copies);
     Sequence::parse(id, kind, &text).expect("tandem repeat unit must be valid for alphabet")
 }

@@ -19,30 +19,28 @@
 //!
 //! This module parses that schema into an [`Assembly`] and serializes
 //! assemblies back out, so AFSysBench job files are interchangeable with
-//! real AF3 job files.
+//! real AF3 job files. JSON handling goes through the hermetic
+//! [`afsb_rt::json`] layer: every schema field is mapped explicitly, which
+//! also documents exactly which parts of the AF3 format are honoured.
 
 use crate::alphabet::MoleculeKind;
 use crate::chain::{Assembly, Chain};
 use crate::sequence::Sequence;
 use crate::ParseSeqError;
-use serde::{Deserialize, Serialize};
+use afsb_rt::{Json, JsonError};
 
-/// Serde mirror of the AF3 job document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "camelCase")]
+/// In-memory mirror of the AF3 job document.
+#[derive(Debug, Clone)]
 pub struct JobDocument {
     /// Job name.
     pub name: String,
-    /// Random seeds for the diffusion sampler.
-    #[serde(default = "default_seeds")]
+    /// Random seeds for the diffusion sampler (default `[1]`).
     pub model_seeds: Vec<u64>,
     /// The chain entries.
     pub sequences: Vec<SequenceEntry>,
     /// Input dialect tag; always `alphafold3`.
-    #[serde(default = "default_dialect")]
     pub dialect: String,
-    /// Schema version.
-    #[serde(default = "default_version")]
+    /// Schema version (default `1`).
     pub version: u32,
 }
 
@@ -58,27 +56,134 @@ fn default_version() -> u32 {
     1
 }
 
-/// One entry of the `sequences` array.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "camelCase")]
+impl JobDocument {
+    /// Build the document from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when a required field is missing or a field
+    /// has the wrong shape; optional fields (`modelSeeds`, `dialect`,
+    /// `version`) fall back to their AF3 defaults.
+    pub fn from_json(v: &Json) -> Result<JobDocument, JsonError> {
+        let name = v
+            .field("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("'name' must be a string"))?
+            .to_owned();
+        let model_seeds = match v.get("modelSeeds") {
+            None => default_seeds(),
+            Some(seeds) => seeds
+                .as_array()
+                .ok_or_else(|| JsonError::msg("'modelSeeds' must be an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .ok_or_else(|| JsonError::msg("model seed must be a non-negative integer"))
+                })
+                .collect::<Result<Vec<u64>, JsonError>>()?,
+        };
+        let sequences = v
+            .field("sequences")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'sequences' must be an array"))?
+            .iter()
+            .map(SequenceEntry::from_json)
+            .collect::<Result<Vec<SequenceEntry>, JsonError>>()?;
+        let dialect = match v.get("dialect") {
+            None => default_dialect(),
+            Some(d) => d
+                .as_str()
+                .ok_or_else(|| JsonError::msg("'dialect' must be a string"))?
+                .to_owned(),
+        };
+        let version = match v.get("version") {
+            None => default_version(),
+            Some(ver) => u32::try_from(
+                ver.as_u64()
+                    .ok_or_else(|| JsonError::msg("'version' must be an integer"))?,
+            )
+            .map_err(|_| JsonError::msg("'version' out of range"))?,
+        };
+        Ok(JobDocument {
+            name,
+            model_seeds,
+            sequences,
+            dialect,
+            version,
+        })
+    }
+
+    /// Serialize the document to its JSON form (field order matches the
+    /// AF3 examples: name, modelSeeds, sequences, dialect, version).
+    pub fn to_json(&self) -> Json {
+        let seeds: Vec<Json> = self.model_seeds.iter().map(|&s| Json::from(s)).collect();
+        let sequences: Vec<Json> = self.sequences.iter().map(SequenceEntry::to_json).collect();
+        afsb_rt::json::obj()
+            .field("name", self.name.as_str())
+            .field("modelSeeds", seeds)
+            .field("sequences", sequences)
+            .field("dialect", self.dialect.as_str())
+            .field("version", u64::from(self.version))
+            .build()
+    }
+}
+
+/// One entry of the `sequences` array, externally tagged by molecule kind
+/// (`{"protein": {...}}`, `{"dna": {...}}`, ...).
+#[derive(Debug, Clone)]
 pub enum SequenceEntry {
     /// A protein chain.
-    #[serde(rename = "protein")]
     Protein(PolymerEntry),
     /// A DNA chain.
-    #[serde(rename = "dna")]
     Dna(PolymerEntry),
     /// An RNA chain.
-    #[serde(rename = "rna")]
     Rna(PolymerEntry),
     /// A ligand (CCD codes; opaque to the MSA phase).
-    #[serde(rename = "ligand")]
     Ligand(LigandEntry),
 }
 
+impl SequenceEntry {
+    /// Decode one `{tag: body}` entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the entry is not a single-key object or the tag is not
+    /// one of `protein`, `dna`, `rna`, `ligand`.
+    pub fn from_json(v: &Json) -> Result<SequenceEntry, JsonError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| JsonError::msg("sequence entry must be an object"))?;
+        let (tag, body) = match fields {
+            [(tag, body)] => (tag.as_str(), body),
+            _ => {
+                return Err(JsonError::msg(
+                    "sequence entry must have exactly one key (protein/dna/rna/ligand)",
+                ))
+            }
+        };
+        match tag {
+            "protein" => Ok(SequenceEntry::Protein(PolymerEntry::from_json(body)?)),
+            "dna" => Ok(SequenceEntry::Dna(PolymerEntry::from_json(body)?)),
+            "rna" => Ok(SequenceEntry::Rna(PolymerEntry::from_json(body)?)),
+            "ligand" => Ok(SequenceEntry::Ligand(LigandEntry::from_json(body)?)),
+            other => Err(JsonError::msg(format!("unknown sequence kind {other:?}"))),
+        }
+    }
+
+    /// Encode as a `{tag: body}` object.
+    pub fn to_json(&self) -> Json {
+        let (tag, body) = match self {
+            SequenceEntry::Protein(p) => ("protein", p.to_json()),
+            SequenceEntry::Dna(p) => ("dna", p.to_json()),
+            SequenceEntry::Rna(p) => ("rna", p.to_json()),
+            SequenceEntry::Ligand(l) => ("ligand", l.to_json()),
+        };
+        afsb_rt::json::obj().field(tag, body).build()
+    }
+}
+
 /// `id` may be a single string or a list of copy ids in AF3 inputs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone)]
 pub enum OneOrMany {
     /// A single chain id.
     One(String),
@@ -94,10 +199,35 @@ impl OneOrMany {
             OneOrMany::Many(v) => v,
         }
     }
+
+    fn from_json(v: &Json) -> Result<OneOrMany, JsonError> {
+        if let Some(s) = v.as_str() {
+            return Ok(OneOrMany::One(s.to_owned()));
+        }
+        let items = v
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'id' must be a string or array of strings"))?;
+        items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| JsonError::msg("chain id must be a string"))
+            })
+            .collect::<Result<Vec<String>, JsonError>>()
+            .map(OneOrMany::Many)
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            OneOrMany::One(s) => Json::from(s.as_str()),
+            OneOrMany::Many(v) => Json::Arr(v.iter().map(|s| Json::from(s.as_str())).collect()),
+        }
+    }
 }
 
 /// A polymer entry: ids plus residue text.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolymerEntry {
     /// Chain id(s).
     pub id: OneOrMany,
@@ -105,14 +235,67 @@ pub struct PolymerEntry {
     pub sequence: String,
 }
 
+impl PolymerEntry {
+    fn from_json(v: &Json) -> Result<PolymerEntry, JsonError> {
+        Ok(PolymerEntry {
+            id: OneOrMany::from_json(v.field("id")?)?,
+            sequence: v
+                .field("sequence")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("'sequence' must be a string"))?
+                .to_owned(),
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        afsb_rt::json::obj()
+            .field("id", self.id.to_json())
+            .field("sequence", self.sequence.as_str())
+            .build()
+    }
+}
+
 /// A ligand entry (CCD chemical component codes).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(rename_all = "camelCase")]
+#[derive(Debug, Clone)]
 pub struct LigandEntry {
     /// Chain id(s).
     pub id: OneOrMany,
-    /// Chemical component dictionary codes.
+    /// Chemical component dictionary codes (serialized as `ccdCodes`).
     pub ccd_codes: Vec<String>,
+}
+
+impl LigandEntry {
+    fn from_json(v: &Json) -> Result<LigandEntry, JsonError> {
+        Ok(LigandEntry {
+            id: OneOrMany::from_json(v.field("id")?)?,
+            ccd_codes: v
+                .field("ccdCodes")?
+                .as_array()
+                .ok_or_else(|| JsonError::msg("'ccdCodes' must be an array"))?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| JsonError::msg("ccd code must be a string"))
+                })
+                .collect::<Result<Vec<String>, JsonError>>()?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        afsb_rt::json::obj()
+            .field("id", self.id.to_json())
+            .field(
+                "ccdCodes",
+                Json::Arr(
+                    self.ccd_codes
+                        .iter()
+                        .map(|c| Json::from(c.as_str()))
+                        .collect(),
+                ),
+            )
+            .build()
+    }
 }
 
 /// Parse an AF3 job JSON document into an [`Assembly`].
@@ -125,8 +308,8 @@ pub struct LigandEntry {
 /// Returns [`ParseSeqError::Json`] for malformed JSON and the usual
 /// sequence validation errors otherwise.
 pub fn parse_job(json: &str) -> Result<Assembly, ParseSeqError> {
-    let doc: JobDocument =
-        serde_json::from_str(json).map_err(|e| ParseSeqError::Json(e.to_string()))?;
+    let value = Json::parse(json).map_err(|e| ParseSeqError::Json(e.to_string()))?;
+    let doc = JobDocument::from_json(&value).map_err(|e| ParseSeqError::Json(e.to_string()))?;
     assembly_from_document(&doc)
 }
 
@@ -156,8 +339,8 @@ pub fn assembly_from_document(doc: &JobDocument) -> Result<Assembly, ParseSeqErr
 ///
 /// # Errors
 ///
-/// Returns [`ParseSeqError::Json`] if serialization fails (practically
-/// unreachable).
+/// Returns [`ParseSeqError::Json`] if the assembly contains a chain kind
+/// that has no AF3 serialization (ligand/ion placeholder chains).
 pub fn to_job_json(asm: &Assembly) -> Result<String, ParseSeqError> {
     let sequences = asm
         .chains()
@@ -172,13 +355,15 @@ pub fn to_job_json(asm: &Assembly) -> Result<String, ParseSeqError> {
                 sequence: chain.sequence().to_text(),
             };
             match chain.kind() {
-                MoleculeKind::Protein => SequenceEntry::Protein(polymer),
-                MoleculeKind::Dna => SequenceEntry::Dna(polymer),
-                MoleculeKind::Rna => SequenceEntry::Rna(polymer),
-                other => panic!("cannot serialize {other} chain"),
+                MoleculeKind::Protein => Ok(SequenceEntry::Protein(polymer)),
+                MoleculeKind::Dna => Ok(SequenceEntry::Dna(polymer)),
+                MoleculeKind::Rna => Ok(SequenceEntry::Rna(polymer)),
+                other => Err(ParseSeqError::Json(format!(
+                    "cannot serialize {other} chain"
+                ))),
             }
         })
-        .collect();
+        .collect::<Result<Vec<SequenceEntry>, ParseSeqError>>()?;
     let doc = JobDocument {
         name: asm.name().to_owned(),
         model_seeds: default_seeds(),
@@ -186,7 +371,7 @@ pub fn to_job_json(asm: &Assembly) -> Result<String, ParseSeqError> {
         dialect: default_dialect(),
         version: default_version(),
     };
-    serde_json::to_string_pretty(&doc).map_err(|e| ParseSeqError::Json(e.to_string()))
+    Ok(doc.to_json().pretty())
 }
 
 #[cfg(test)]
@@ -220,7 +405,7 @@ mod tests {
     fn defaults_applied() {
         let json = r#"{ "name": "d", "sequences": [
             { "protein": { "id": "A", "sequence": "MK" } } ] }"#;
-        let doc: JobDocument = serde_json::from_str(json).unwrap();
+        let doc = JobDocument::from_json(&Json::parse(json).unwrap()).unwrap();
         assert_eq!(doc.model_seeds, vec![1]);
         assert_eq!(doc.dialect, "alphafold3");
         assert_eq!(doc.version, 1);
@@ -235,8 +420,35 @@ mod tests {
     }
 
     #[test]
+    fn document_json_roundtrip_preserves_every_field() {
+        let doc = JobDocument::from_json(&Json::parse(EXAMPLE).unwrap()).unwrap();
+        let text = doc.to_json().pretty();
+        let back = JobDocument::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.name, doc.name);
+        assert_eq!(back.model_seeds, vec![7]);
+        assert_eq!(back.sequences.len(), doc.sequences.len());
+        let ligand = back
+            .sequences
+            .iter()
+            .find_map(|e| match e {
+                SequenceEntry::Ligand(l) => Some(l),
+                _ => None,
+            })
+            .expect("ligand entry survives the roundtrip");
+        assert_eq!(ligand.ccd_codes, vec!["ATP".to_owned()]);
+    }
+
+    #[test]
     fn bad_json_reported() {
         let err = parse_job("{ not json").unwrap_err();
+        assert!(matches!(err, ParseSeqError::Json(_)));
+    }
+
+    #[test]
+    fn unknown_entry_tag_reported() {
+        let json = r#"{ "name": "d", "sequences": [
+            { "carbohydrate": { "id": "A", "sequence": "MK" } } ] }"#;
+        let err = parse_job(json).unwrap_err();
         assert!(matches!(err, ParseSeqError::Json(_)));
     }
 

@@ -142,8 +142,7 @@ pub fn sample(id: SampleId) -> Sample {
         SampleId::S1yy9 => {
             // Asymmetric antibody-antigen complex: 224 + 214 + 443 = 881.
             for (cid, len) in [("A", 224usize), ("B", 214), ("C", 443)] {
-                let seq =
-                    generate::background_sequence(format!("1YY9_{cid}"), p, len, &mut rng);
+                let seq = generate::background_sequence(format!("1YY9_{cid}"), p, len, &mut rng);
                 asm.push(Chain::new(cid, seq)).expect("fresh assembly");
             }
         }
@@ -175,25 +174,17 @@ pub fn sample(id: SampleId) -> Sample {
             debug_assert_eq!(lens.iter().sum::<usize>(), 1275);
             for (i, &len) in lens.iter().enumerate() {
                 let cid = char::from(b'A' + i as u8).to_string();
-                let seq =
-                    generate::background_sequence(format!("6QNR_{cid}"), p, len, &mut rng);
+                let seq = generate::background_sequence(format!("6QNR_{cid}"), p, len, &mut rng);
                 asm.push(Chain::new(cid, seq)).expect("fresh assembly");
             }
-            let rna =
-                generate::background_sequence("6QNR_R", MoleculeKind::Rna, 120, &mut rng);
+            let rna = generate::background_sequence("6QNR_R", MoleculeKind::Rna, 120, &mut rng);
             asm.push(Chain::new("R", rna)).expect("fresh assembly");
         }
     }
 
     let (complexity, characteristic) = match id {
-        SampleId::S2pv7 => (
-            ComplexityClass::Low,
-            "Symmetric multi-chain processing",
-        ),
-        SampleId::S7rce => (
-            ComplexityClass::LowMid,
-            "Baseline for mixed-type input",
-        ),
+        SampleId::S2pv7 => (ComplexityClass::Low, "Symmetric multi-chain processing"),
+        SampleId::S7rce => (ComplexityClass::LowMid, "Baseline for mixed-type input"),
         SampleId::S1yy9 => (ComplexityClass::Mid, "Asymmetric multi-chain complex"),
         SampleId::Promo => (
             ComplexityClass::MidHigh,
@@ -291,7 +282,11 @@ mod tests {
         let s = sample(SampleId::Promo);
         let chain_a = &s.assembly.chains()[0];
         let p = complexity::profile(chain_a.sequence());
-        assert!(p.has_low_complexity(), "fraction {}", p.low_complexity_fraction);
+        assert!(
+            p.has_low_complexity(),
+            "fraction {}",
+            p.low_complexity_fraction
+        );
         // Other promo chains are diverse.
         let chain_b = &s.assembly.chains()[1];
         assert!(!complexity::profile(chain_b.sequence()).has_low_complexity());

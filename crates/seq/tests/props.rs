@@ -1,107 +1,136 @@
-//! Property-based tests for the sequence substrate.
+//! Property-based tests for the sequence substrate (rt::check harness).
 
+use afsb_rt::check::{run, Config, Gen};
 use afsb_seq::alphabet::{Alphabet, MoleculeKind};
 use afsb_seq::chain::{Assembly, Chain};
 use afsb_seq::complexity;
 use afsb_seq::generate;
 use afsb_seq::input;
 use afsb_seq::sequence::Sequence;
-use proptest::prelude::*;
 
-fn protein_text() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        proptest::sample::select("ACDEFGHIKLMNPQRSTVWYX".as_bytes().to_vec()),
-        1..300,
-    )
-    .prop_map(|v| String::from_utf8(v).expect("ascii"))
+fn protein_text(g: &mut Gen) -> String {
+    g.ascii(b"ACDEFGHIKLMNPQRSTVWYX", 1..300)
 }
 
-fn rna_text() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        proptest::sample::select("ACGUN".as_bytes().to_vec()),
-        1..300,
-    )
-    .prop_map(|v| String::from_utf8(v).expect("ascii"))
+fn rna_text(g: &mut Gen) -> String {
+    g.ascii(b"ACGUN", 1..300)
 }
 
-proptest! {
-    #[test]
-    fn parse_roundtrips_text(text in protein_text()) {
+#[test]
+fn parse_roundtrips_text() {
+    run("parse_roundtrips_text", Config::default(), |g| {
+        let text = protein_text(g);
         let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
-        prop_assert_eq!(seq.to_text(), text);
-        prop_assert_eq!(seq.len(), seq.to_text().len());
-    }
+        assert_eq!(seq.to_text(), text);
+        assert_eq!(seq.len(), seq.to_text().len());
+    });
+}
 
-    #[test]
-    fn encode_decode_identity(code in 0u8..=20) {
-        let a = Alphabet::PROTEIN;
+#[test]
+fn encode_decode_identity() {
+    // Exhaustive over the 21 protein codes rather than sampled.
+    let a = Alphabet::PROTEIN;
+    for code in 0u8..=20 {
         let c = a.decode(code);
-        prop_assert_eq!(a.encode(c), Some(code));
+        assert_eq!(a.encode(c), Some(code));
     }
+}
 
-    #[test]
-    fn composition_sums_to_length(text in rna_text()) {
+#[test]
+fn composition_sums_to_length() {
+    run("composition_sums_to_length", Config::default(), |g| {
+        let text = rna_text(g);
         let seq = Sequence::parse("r", MoleculeKind::Rna, &text).expect("valid");
         let total: u64 = seq.composition().iter().sum();
-        prop_assert_eq!(total, seq.len() as u64);
-    }
+        assert_eq!(total, seq.len() as u64);
+    });
+}
 
-    #[test]
-    fn windows_preserve_content(text in protein_text(), start in 0usize..100, len in 1usize..50) {
+#[test]
+fn windows_preserve_content() {
+    run("windows_preserve_content", Config::default(), |g| {
+        let text = protein_text(g);
+        let start = g.range(0usize..100);
+        let len = g.range(1usize..50);
         let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
         let start = start % seq.len();
         let end = (start + len).min(seq.len());
-        prop_assume!(start < end);
+        if start >= end {
+            return; // analogous to prop_assume!
+        }
         let w = seq.window(start, end);
-        prop_assert_eq!(w.codes(), &seq.codes()[start..end]);
-    }
+        assert_eq!(w.codes(), &seq.codes()[start..end]);
+    });
+}
 
-    #[test]
-    fn entropy_bounded(text in protein_text()) {
+#[test]
+fn entropy_bounded() {
+    run("entropy_bounded", Config::default(), |g| {
+        let text = protein_text(g);
         let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
         let p = complexity::profile(&seq);
-        prop_assert!(p.global_entropy >= 0.0);
-        prop_assert!(p.global_entropy <= (21f64).log2() + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&p.low_complexity_fraction));
+        assert!(p.global_entropy >= 0.0);
+        assert!(p.global_entropy <= (21f64).log2() + 1e-9);
+        assert!((0.0..=1.0).contains(&p.low_complexity_fraction));
         // Regions are sorted, disjoint and in range.
         let mut prev_end = 0;
         for r in &p.regions {
-            prop_assert!(r.start >= prev_end);
-            prop_assert!(r.end <= seq.len());
-            prop_assert!(!r.is_empty());
+            assert!(r.start >= prev_end);
+            assert!(r.end <= seq.len());
+            assert!(!r.is_empty());
             prev_end = r.end;
         }
-    }
+    });
+}
 
-    #[test]
-    fn homopolymer_insertion_length(text in protein_text(), at_frac in 0.0f64..1.0, count in 1usize..80) {
+#[test]
+fn homopolymer_insertion_length() {
+    run("homopolymer_insertion_length", Config::default(), |g| {
+        let text = protein_text(g);
+        let at_frac = g.range(0.0f64..1.0);
+        let count = g.range(1usize..80);
         let seq = Sequence::parse("p", MoleculeKind::Protein, &text).expect("valid");
         let at = ((seq.len() as f64) * at_frac) as usize;
         let out = generate::insert_homopolymer(&seq, at, 'Q', count);
-        prop_assert_eq!(out.len(), seq.len() + count);
+        assert_eq!(out.len(), seq.len() + count);
         // The inserted stretch is all Q.
         let q = Alphabet::PROTEIN.encode('Q').expect("Q");
-        prop_assert!(out.codes()[at..at + count].iter().all(|&c| c == q));
-    }
+        assert!(out.codes()[at..at + count].iter().all(|&c| c == q));
+    });
+}
 
-    #[test]
-    fn homolog_identity_monotone(seed in 0u64..500) {
+#[test]
+fn homolog_identity_monotone() {
+    run("homolog_identity_monotone", Config::cases(128), |g| {
+        let seed = g.range(0u64..500);
         let mut rng = generate::rng_for("prop", seed);
         let parent = generate::background_sequence("p", MoleculeKind::Protein, 400, &mut rng);
         let close = generate::mutate_homolog(&parent, "c", 0.95, 0.0, &mut rng);
         let far = generate::mutate_homolog(&parent, "f", 0.45, 0.0, &mut rng);
         let id_close = generate::positional_identity(&parent, &close);
         let id_far = generate::positional_identity(&parent, &far);
-        prop_assert!(id_close > id_far, "close {} vs far {}", id_close, id_far);
-    }
+        assert!(id_close > id_far, "close {id_close} vs far {id_far}");
+    });
+}
 
-    #[test]
-    fn af3_json_roundtrip(prot in protein_text(), rna in rna_text()) {
+#[test]
+fn af3_json_roundtrip() {
+    run("af3_json_roundtrip", Config::default(), |g| {
+        let prot = protein_text(g);
+        let rna = rna_text(g);
         let mut asm = Assembly::new("prop");
-        asm.push(Chain::new("A", Sequence::parse("A", MoleculeKind::Protein, &prot).expect("valid"))).expect("push");
-        asm.push(Chain::new("R", Sequence::parse("R", MoleculeKind::Rna, &rna).expect("valid"))).expect("push");
+        asm.push(Chain::new(
+            "A",
+            Sequence::parse("A", MoleculeKind::Protein, &prot).expect("valid"),
+        ))
+        .expect("push");
+        asm.push(Chain::new(
+            "R",
+            Sequence::parse("R", MoleculeKind::Rna, &rna).expect("valid"),
+        ))
+        .expect("push");
         let json = input::to_job_json(&asm).expect("serialize");
         let back = input::parse_job(&json).expect("parse");
-        prop_assert_eq!(asm, back);
-    }
+        assert_eq!(asm, back);
+    });
 }

@@ -88,8 +88,7 @@ impl GsharePredictor {
         } else {
             *counter = counter.saturating_sub(1);
         }
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1u64 << self.history_bits) - 1);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1u64 << self.history_bits) - 1);
         correct
     }
 }
@@ -133,7 +132,9 @@ mod tests {
         let mut p = GsharePredictor::default_sized();
         let mut x = 0x12345678u64;
         for _ in 0..20000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p.predict(0x400300, (x >> 62) & 1 == 1);
         }
         let r = p.stats().miss_ratio();

@@ -94,7 +94,10 @@ impl Cache {
     pub fn new(config: CacheLevelConfig) -> Cache {
         let sets = config.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             config,
             sets,

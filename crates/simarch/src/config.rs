@@ -1,6 +1,5 @@
 //! Platform hardware configurations (paper Table I).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Gibibytes helper.
@@ -11,7 +10,7 @@ pub const MIB: u64 = 1 << 20;
 pub const KIB: u64 = 1 << 10;
 
 /// Which evaluation platform (Table I column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Intel Xeon Gold 5416S + NVIDIA H100 server.
     Server,
@@ -44,7 +43,7 @@ impl fmt::Display for Platform {
 }
 
 /// One cache level's geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Total capacity in bytes.
     pub capacity: u64,
@@ -71,7 +70,7 @@ impl CacheLevelConfig {
 }
 
 /// Data-TLB configuration (two levels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// L1 dTLB entries.
     pub l1_entries: usize,
@@ -86,7 +85,7 @@ pub struct TlbConfig {
 }
 
 /// Core microarchitecture parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Physical cores.
     pub cores: usize,
@@ -123,7 +122,7 @@ impl CoreConfig {
 }
 
 /// Main-memory configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// DRAM capacity in bytes.
     pub dram_bytes: u64,
@@ -138,7 +137,7 @@ pub struct MemoryConfig {
 }
 
 /// NVMe storage configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StorageConfig {
     /// Sustained sequential read bandwidth (GiB/s).
     pub seq_read_gibs: f64,
@@ -149,7 +148,7 @@ pub struct StorageConfig {
 }
 
 /// A complete platform: CPU, caches, TLB, memory, storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformSpec {
     /// Which platform this is.
     pub platform: Platform,
@@ -261,7 +260,7 @@ impl PlatformSpec {
                 hit_cycles: 4,
             },
             l2: CacheLevelConfig {
-                capacity: 1 * MIB,
+                capacity: MIB,
                 ways: 8,
                 line: 64,
                 hit_cycles: 14,

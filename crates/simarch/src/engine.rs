@@ -28,8 +28,7 @@ use crate::config::PlatformSpec;
 use crate::perf::{PerfReport, SymbolStats};
 use crate::tlb::{Dtlb, TlbLookup};
 use crate::trace::{PatternCursor, Segment, ThreadProgram};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use afsb_rt::Rng;
 use std::collections::HashMap;
 
 /// Cycles charged for a minor (soft) page fault.
@@ -256,7 +255,7 @@ struct ThreadState {
     prefetcher: crate::prefetch::StreamPrefetcher,
     segments: Vec<SegmentCursor>,
     seg_idx: usize,
-    rng: StdRng,
+    rng: Rng,
     symbols: HashMap<&'static str, SymbolStats>,
     base_cycles: u64,
     stall_cycles: u64,
@@ -283,7 +282,7 @@ impl ThreadState {
             prefetcher: crate::prefetch::StreamPrefetcher::new(16, 2, spec.l1d.line),
             segments,
             seg_idx: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             symbols: HashMap::new(),
             base_cycles: 0,
             stall_cycles: 0,
@@ -309,7 +308,7 @@ impl ThreadState {
         let symbol = seg.symbol;
 
         // Pick a pattern by weight and get the next address.
-        let pick: f64 = self.rng.gen();
+        let pick: f64 = self.rng.gen_f64();
         let idx = seg
             .cumulative
             .iter()
@@ -474,8 +473,14 @@ mod tests {
         let engine = SimEngine::new(spec).with_sample_cap(50_000);
         let small = Region::new(0x1000_0000, 16 << 10);
         let big = Region::new(0x2000_0000, 512 << 20);
-        let fast = engine.run(&[program(100_000, AccessPattern::Random { region: small })], 1);
-        let slow = engine.run(&[program(100_000, AccessPattern::Random { region: big })], 1);
+        let fast = engine.run(
+            &[program(100_000, AccessPattern::Random { region: small })],
+            1,
+        );
+        let slow = engine.run(
+            &[program(100_000, AccessPattern::Random { region: big })],
+            1,
+        );
         assert!(
             fast.wall_cycles < slow.wall_cycles / 2,
             "cache-resident {} vs DRAM-bound {}",
@@ -539,10 +544,7 @@ mod tests {
         let spec = PlatformSpec::desktop();
         let region = Region::new(0x1000_0000, 1 << 20);
         let engine = SimEngine::new(spec).with_sample_cap(10_000);
-        let res = engine.run(
-            &[program(1_000_000, AccessPattern::Random { region })],
-            3,
-        );
+        let res = engine.run(&[program(1_000_000, AccessPattern::Random { region })], 3);
         assert!(res.sample_rate < 0.02);
         let acc = res.totals.accesses;
         assert!(
@@ -582,9 +584,12 @@ mod tests {
                 pattern: AccessPattern::Sequential { region, stride: 64 },
             }],
         );
-        let clean = engine.run(&[ThreadProgram {
-            segments: vec![seg.clone()],
-        }], 1);
+        let clean = engine.run(
+            &[ThreadProgram {
+                segments: vec![seg.clone()],
+            }],
+            1,
+        );
         seg.page_faults = 50_000;
         with_faults.push(seg);
         let faulty = engine.run(&[with_faults], 1);

@@ -196,7 +196,7 @@ impl PerfReport {
     /// Symbols sorted by descending cycle share (perf report order).
     pub fn top_by_cycles(&self) -> Vec<(&'static str, SymbolStats)> {
         let mut rows: Vec<_> = self.symbols.iter().map(|(&k, &v)| (k, v)).collect();
-        rows.sort_by(|a, b| b.1.cycles().cmp(&a.1.cycles()));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.cycles()));
         rows
     }
 }

@@ -82,7 +82,8 @@ impl StreamPrefetcher {
             let delta = line_addr as i64 - e.last_line as i64;
             // Accept continuations with the learned stride, or nearby
             // forward progress while still training.
-            if (e.stride != 0 && delta == e.stride) || (e.stride == 0 && delta.abs() <= 4 && delta != 0)
+            if (e.stride != 0 && delta == e.stride)
+                || (e.stride == 0 && delta.abs() <= 4 && delta != 0)
             {
                 best = Some(i);
                 break;

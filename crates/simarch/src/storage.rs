@@ -158,8 +158,7 @@ impl SeparatedIoPaths {
     pub fn evaluate_scan(&self, mut phase: IoPhase) -> IostatSample {
         if !self.separated {
             // Auxiliary traffic steals a slice of device throughput.
-            phase.cold_bytes =
-                (phase.cold_bytes as f64 / self.shared_interference).round() as u64;
+            phase.cold_bytes = (phase.cold_bytes as f64 / self.shared_interference).round() as u64;
         }
         self.database.evaluate(phase)
     }
@@ -196,7 +195,11 @@ mod tests {
         assert!((s.util_pct - 100.0).abs() < 1e-6);
         assert!(s.io_added_seconds > 15.0);
         // r_await stays low (paper: 0.1–0.2 ms under continuous load).
-        assert!(s.r_await_ms > 0.05 && s.r_await_ms < 0.25, "{}", s.r_await_ms);
+        assert!(
+            s.r_await_ms > 0.05 && s.r_await_ms < 0.25,
+            "{}",
+            s.r_await_ms
+        );
     }
 
     #[test]

@@ -74,7 +74,7 @@ struct TlbLevel {
 
 impl TlbLevel {
     fn new(capacity: usize) -> TlbLevel {
-        let ways = capacity.min(8).max(1);
+        let ways = capacity.clamp(1, 8);
         let sets = (capacity / ways).max(1);
         TlbLevel {
             sets,

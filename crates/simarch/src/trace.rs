@@ -13,8 +13,7 @@
 //! while locality structure is declared explicitly and documented per
 //! kernel in `afsb-core::msa_cost`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use afsb_rt::Rng;
 
 /// A function symbol for per-symbol attribution (Table IV/V rows).
 pub type SymbolId = &'static str;
@@ -211,7 +210,7 @@ impl ThreadProgram {
 #[derive(Debug)]
 pub struct PatternCursor {
     pattern: AccessPattern,
-    rng: StdRng,
+    rng: Rng,
     seq_offset: u64,
     burst_left: u32,
     burst_addr: u64,
@@ -222,7 +221,7 @@ impl PatternCursor {
     pub fn new(pattern: AccessPattern, seed: u64) -> PatternCursor {
         PatternCursor {
             pattern,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             seq_offset: 0,
             burst_left: 0,
             burst_addr: 0,
@@ -237,9 +236,7 @@ impl PatternCursor {
                 self.seq_offset = (self.seq_offset + u64::from(stride)) % region.bytes;
                 addr
             }
-            AccessPattern::Random { region } => {
-                region.base + self.rng.gen_range(0..region.bytes)
-            }
+            AccessPattern::Random { region } => region.base + self.rng.gen_range(0..region.bytes),
             AccessPattern::BurstRandom {
                 region,
                 run,

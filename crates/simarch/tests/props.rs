@@ -1,12 +1,12 @@
 //! Property-based tests for the architecture simulator.
 
+use afsb_rt::check::{run, Config};
 use afsb_simarch::branch::GsharePredictor;
 use afsb_simarch::cache::Cache;
 use afsb_simarch::config::{CacheLevelConfig, PlatformSpec, TlbConfig};
 use afsb_simarch::tlb::Dtlb;
 use afsb_simarch::trace::{AccessPattern, Region, Segment, ThreadProgram, WeightedPattern};
 use afsb_simarch::SimEngine;
-use proptest::prelude::*;
 
 fn tiny_cache() -> Cache {
     Cache::new(CacheLevelConfig {
@@ -17,33 +17,43 @@ fn tiny_cache() -> Cache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_accounting_invariants(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+#[test]
+fn cache_accounting_invariants() {
+    run("cache_accounting_invariants", Config::cases(64), |g| {
+        let addrs = g.vec(1..500, |g| g.range(0u64..1_000_000));
         let mut c = tiny_cache();
         for &a in &addrs {
             c.access(a);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert!(s.prefetch_hits <= s.accesses);
-    }
+        assert_eq!(s.accesses, addrs.len() as u64);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(s.prefetch_hits <= s.accesses);
+    });
+}
 
-    #[test]
-    fn repeated_address_hits_after_first(addr in 0u64..1_000_000, repeats in 2usize..50) {
-        let mut c = tiny_cache();
-        for _ in 0..repeats {
-            c.access(addr);
-        }
-        prop_assert_eq!(c.stats().misses, 1);
-        prop_assert_eq!(c.stats().hits, repeats as u64 - 1);
-    }
+#[test]
+fn repeated_address_hits_after_first() {
+    run(
+        "repeated_address_hits_after_first",
+        Config::cases(64),
+        |g| {
+            let addr = g.range(0u64..1_000_000);
+            let repeats = g.range(2usize..50);
+            let mut c = tiny_cache();
+            for _ in 0..repeats {
+                c.access(addr);
+            }
+            assert_eq!(c.stats().misses, 1);
+            assert_eq!(c.stats().hits, repeats as u64 - 1);
+        },
+    );
+}
 
-    #[test]
-    fn tlb_accounting_invariants(pages in proptest::collection::vec(0u64..4096, 1..400)) {
+#[test]
+fn tlb_accounting_invariants() {
+    run("tlb_accounting_invariants", Config::cases(64), |g| {
+        let pages = g.vec(1..400, |g| g.range(0u64..4096));
         let mut t = Dtlb::new(TlbConfig {
             l1_entries: 8,
             l2_entries: 32,
@@ -54,24 +64,31 @@ proptest! {
             t.access(p * 4096);
         }
         let s = t.stats();
-        prop_assert_eq!(s.lookups, pages.len() as u64);
-        prop_assert!(s.walks <= s.l1_misses);
-        prop_assert!(s.l1_misses <= s.lookups);
-    }
+        assert_eq!(s.lookups, pages.len() as u64);
+        assert!(s.walks <= s.l1_misses);
+        assert!(s.l1_misses <= s.lookups);
+    });
+}
 
-    #[test]
-    fn predictor_never_overcounts(outcomes in proptest::collection::vec(any::<bool>(), 1..2000)) {
+#[test]
+fn predictor_never_overcounts() {
+    run("predictor_never_overcounts", Config::cases(64), |g| {
+        let outcomes = g.vec(1..2000, |g| g.bool());
         let mut p = GsharePredictor::default_sized();
         for (i, &taken) in outcomes.iter().enumerate() {
             p.predict(0x1000 + (i as u64 % 7) * 4, taken);
         }
         let s = p.stats();
-        prop_assert_eq!(s.branches, outcomes.len() as u64);
-        prop_assert!(s.mispredicts <= s.branches);
-    }
+        assert_eq!(s.branches, outcomes.len() as u64);
+        assert!(s.mispredicts <= s.branches);
+    });
+}
 
-    #[test]
-    fn engine_conserves_instructions(instr in 1_000u64..1_000_000, threads in 1usize..5) {
+#[test]
+fn engine_conserves_instructions() {
+    run("engine_conserves_instructions", Config::cases(64), |g| {
+        let instr = g.range(1_000u64..1_000_000);
+        let threads = g.range(1usize..5);
         let region = Region::new(0x10_0000, 1 << 20);
         let programs: Vec<ThreadProgram> = (0..threads)
             .map(|_| {
@@ -90,17 +107,25 @@ proptest! {
             .collect();
         let engine = SimEngine::new(PlatformSpec::desktop()).with_sample_cap(20_000);
         let r = engine.run(&programs, 1);
-        prop_assert_eq!(r.totals.instructions, instr * threads as u64);
-        prop_assert!(r.wall_cycles > 0);
-        prop_assert_eq!(r.per_thread_cycles.len(), threads);
+        assert_eq!(r.totals.instructions, instr * threads as u64);
+        assert!(r.wall_cycles > 0);
+        assert_eq!(r.per_thread_cycles.len(), threads);
         // Sampled-then-scaled accesses stay within 15% of declared.
         let declared = (instr / 4) * threads as u64;
         let err = (r.totals.accesses as f64 - declared as f64).abs() / declared as f64;
-        prop_assert!(err < 0.15, "accesses {} vs declared {}", r.totals.accesses, declared);
-    }
+        assert!(
+            err < 0.15,
+            "accesses {} vs declared {}",
+            r.totals.accesses,
+            declared
+        );
+    });
+}
 
-    #[test]
-    fn engine_more_work_never_faster(instr in 10_000u64..200_000) {
+#[test]
+fn engine_more_work_never_faster() {
+    run("engine_more_work_never_faster", Config::cases(64), |g| {
+        let instr = g.range(10_000u64..200_000);
         let region = Region::new(0x10_0000, 8 << 20);
         let mk = |n: u64| {
             let mut p = ThreadProgram::new();
@@ -118,6 +143,6 @@ proptest! {
         let engine = SimEngine::new(PlatformSpec::server()).with_sample_cap(50_000);
         let small = engine.run(&mk(instr), 3);
         let large = engine.run(&mk(instr * 2), 3);
-        prop_assert!(large.wall_cycles > small.wall_cycles);
-    }
+        assert!(large.wall_cycles > small.wall_cycles);
+    });
 }

@@ -26,7 +26,10 @@ impl MultiHeadAttention {
     ///
     /// Panics unless `dim` is divisible by `heads`.
     pub fn new(dim: usize, heads: usize, seed: u64) -> MultiHeadAttention {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         MultiHeadAttention {
             q: Linear::new_no_bias(dim, dim, seed),
             k: Linear::new_no_bias(dim, dim, seed ^ 0x1111),
@@ -63,7 +66,11 @@ impl MultiHeadAttention {
     /// Panics on rank/shape mismatches.
     pub fn forward(&self, queries: &Tensor, keys_values: &Tensor, bias: Option<&Tensor>) -> Tensor {
         assert_eq!(queries.shape().rank(), 2, "queries must be [n, dim]");
-        assert_eq!(keys_values.shape().rank(), 2, "keys/values must be [m, dim]");
+        assert_eq!(
+            keys_values.shape().rank(),
+            2,
+            "keys/values must be [m, dim]"
+        );
         let n = queries.dims()[0];
         let m = keys_values.dims()[0];
         assert_eq!(queries.dims()[1], self.dim, "query dim mismatch");
@@ -86,8 +93,8 @@ impl MultiHeadAttention {
                 for j in 0..m {
                     let mut dot = 0.0;
                     for d in 0..self.head_dim {
-                        dot += q.data()[i * self.dim + h_off + d]
-                            * k.data()[j * self.dim + h_off + d];
+                        dot +=
+                            q.data()[i * self.dim + h_off + d] * k.data()[j * self.dim + h_off + d];
                     }
                     let mut logit = dot * scale;
                     if let Some(b) = bias {

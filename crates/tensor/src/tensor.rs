@@ -1,8 +1,7 @@
 //! The dense `f32` tensor type and core operations.
 
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use afsb_rt::Rng;
 use std::fmt;
 
 /// A dense row-major `f32` tensor.
@@ -57,13 +56,13 @@ impl Tensor {
         let shape = Shape::new(dims);
         let fan_in = *shape.dims().last().expect("non-empty shape") as f32;
         let scale = (1.0 / fan_in).sqrt();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Box-Muller pairs.
         let n = shape.numel();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
             data.push(r * theta.cos() * scale);
@@ -114,7 +113,11 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, dims: Vec<usize>) -> Tensor {
         let shape = Shape::new(dims);
-        assert_eq!(shape.numel(), self.data.len(), "reshape must preserve numel");
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape must preserve numel"
+        );
         self.shape = shape;
         self
     }

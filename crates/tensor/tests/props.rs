@@ -1,87 +1,122 @@
 //! Property-based tests for tensor-library invariants.
 
+use afsb_rt::check::{run, Config, Gen};
 use afsb_tensor::nn::{layer_norm, softmax, Linear};
 use afsb_tensor::Tensor;
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..8, 1usize..8, 1usize..8)
+fn small_dims(g: &mut Gen) -> (usize, usize, usize) {
+    (g.range(1usize..8), g.range(1usize..8), g.range(1usize..8))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matmul_identity_left_and_right((m, k, _) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn matmul_identity_left_and_right() {
+    run("matmul_identity_left_and_right", Config::cases(64), |g| {
+        let (m, k, _) = small_dims(g);
+        let seed = g.range(0u64..1000);
         let a = Tensor::randn(vec![m, k], seed);
-        prop_assert!(a.matmul(&Tensor::eye(k)).approx_eq(&a, 1e-5));
-        prop_assert!(Tensor::eye(m).matmul(&a).approx_eq(&a, 1e-5));
-    }
+        assert!(a.matmul(&Tensor::eye(k)).approx_eq(&a, 1e-5));
+        assert!(Tensor::eye(m).matmul(&a).approx_eq(&a, 1e-5));
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition((m, k, n) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn matmul_distributes_over_addition() {
+    run("matmul_distributes_over_addition", Config::cases(64), |g| {
+        let (m, k, n) = small_dims(g);
+        let seed = g.range(0u64..1000);
         let a = Tensor::randn(vec![m, k], seed);
         let b = Tensor::randn(vec![k, n], seed ^ 1);
         let c = Tensor::randn(vec![k, n], seed ^ 2);
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-3));
+    });
+}
 
-    #[test]
-    fn transpose_reverses_matmul((m, k, n) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn transpose_reverses_matmul() {
+    run("transpose_reverses_matmul", Config::cases(64), |g| {
+        let (m, k, n) = small_dims(g);
+        let seed = g.range(0u64..1000);
         let a = Tensor::randn(vec![m, k], seed);
         let b = Tensor::randn(vec![k, n], seed ^ 3);
         let ab_t = a.matmul(&b).transpose2();
         let bt_at = b.transpose2().matmul(&a.transpose2());
-        prop_assert!(ab_t.approx_eq(&bt_at, 1e-3));
-    }
+        assert!(ab_t.approx_eq(&bt_at, 1e-3));
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 1usize..12, seed in 0u64..1000) {
+#[test]
+fn softmax_rows_are_distributions() {
+    run("softmax_rows_are_distributions", Config::cases(64), |g| {
+        let rows = g.range(1usize..6);
+        let cols = g.range(1usize..12);
+        let seed = g.range(0u64..1000);
         let x = Tensor::randn(vec![rows, cols], seed).scale(5.0);
         let y = softmax(&x);
         for row in y.data().chunks(cols) {
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4, "row sums to {}", sum);
-            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((sum - 1.0).abs() < 1e-4, "row sums to {sum}");
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn softmax_invariant_to_shift(cols in 2usize..12, seed in 0u64..1000, shift in -50.0f32..50.0) {
+#[test]
+fn softmax_invariant_to_shift() {
+    run("softmax_invariant_to_shift", Config::cases(64), |g| {
+        let cols = g.range(2usize..12);
+        let seed = g.range(0u64..1000);
+        let shift = g.range(-50.0f32..50.0);
         let x = Tensor::randn(vec![1, cols], seed);
         let shifted = x.map(|v| v + shift);
-        prop_assert!(softmax(&x).approx_eq(&softmax(&shifted), 1e-4));
-    }
+        assert!(softmax(&x).approx_eq(&softmax(&shifted), 1e-4));
+    });
+}
 
-    #[test]
-    fn layer_norm_normalizes(rows in 1usize..6, cols in 4usize..32, seed in 0u64..1000) {
-        let x = Tensor::randn(vec![rows, cols], seed).scale(7.0).map(|v| v + 3.0);
+#[test]
+fn layer_norm_normalizes() {
+    run("layer_norm_normalizes", Config::cases(64), |g| {
+        let rows = g.range(1usize..6);
+        let cols = g.range(4usize..32);
+        let seed = g.range(0u64..1000);
+        let x = Tensor::randn(vec![rows, cols], seed)
+            .scale(7.0)
+            .map(|v| v + 3.0);
         let y = layer_norm(&x);
         for row in y.data().chunks(cols) {
             let n = cols as f32;
             let mean: f32 = row.iter().sum::<f32>() / n;
             let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-            prop_assert!(mean.abs() < 1e-3);
-            prop_assert!((var - 1.0).abs() < 0.05);
+            assert!(mean.abs() < 1e-3);
+            assert!((var - 1.0).abs() < 0.05);
         }
-    }
+    });
+}
 
-    #[test]
-    fn linear_homogeneous(in_dim in 2usize..12, out_dim in 2usize..12, seed in 0u64..1000, s in -3.0f32..3.0) {
+#[test]
+fn linear_homogeneous() {
+    run("linear_homogeneous", Config::cases(64), |g| {
+        let in_dim = g.range(2usize..12);
+        let out_dim = g.range(2usize..12);
+        let seed = g.range(0u64..1000);
+        let s = g.range(-3.0f32..3.0);
         let l = Linear::new_no_bias(in_dim, out_dim, seed);
         let x = Tensor::randn(vec![3, in_dim], seed ^ 9);
         let scaled_then = l.forward(&x.scale(s));
         let then_scaled = l.forward(&x).scale(s);
-        prop_assert!(scaled_then.approx_eq(&then_scaled, 1e-3));
-    }
+        assert!(scaled_then.approx_eq(&then_scaled, 1e-3));
+    });
+}
 
-    #[test]
-    fn reshape_preserves_sum((m, k, _) in small_dims(), seed in 0u64..1000) {
+#[test]
+fn reshape_preserves_sum() {
+    run("reshape_preserves_sum", Config::cases(64), |g| {
+        let (m, k, _) = small_dims(g);
+        let seed = g.range(0u64..1000);
         let a = Tensor::randn(vec![m, k], seed);
         let sum_before = a.sum();
         let b = a.reshape(vec![k * m]);
-        prop_assert!((b.sum() - sum_before).abs() < 1e-4);
-    }
+        assert!((b.sum() - sum_before).abs() < 1e-4);
+    });
 }

@@ -26,7 +26,12 @@ fn main() {
         "{:>7} {:>9} {:>11} {:>11} {:>11} {:>9} {:>9}",
         "sample", "platform", "MSA", "inference", "total", "IPC", "NVMe util"
     );
-    for id in [SampleId::S2pv7, SampleId::S7rce, SampleId::S1yy9, SampleId::Promo] {
+    for id in [
+        SampleId::S2pv7,
+        SampleId::S7rce,
+        SampleId::S1yy9,
+        SampleId::Promo,
+    ] {
         let data = ctx.sample_data(id);
         let mut totals = Vec::new();
         for platform in Platform::all() {

@@ -34,11 +34,11 @@ fn main() {
 
     for platform in Platform::all() {
         let r = run_pipeline(&data, platform, 4, &options);
+        println!("\n== {} @ 4 threads ==", report::platform_label(platform));
         println!(
-            "\n== {} @ 4 threads ==",
-            report::platform_label(platform)
+            "  MSA phase:        {}",
+            report::fmt_seconds(r.msa_seconds())
         );
-        println!("  MSA phase:        {}", report::fmt_seconds(r.msa_seconds()));
         println!(
             "  inference phase:  {}  (init {:.0}s, XLA {:.0}s, GPU {:.0}s)",
             report::fmt_seconds(r.inference_seconds()),

@@ -21,10 +21,18 @@ fn main() {
         println!("\nrunning searches for {id:?}…", id = id.name());
         let data = ctx.sample_data(id);
         for platform in Platform::all() {
-            println!("\n== {} on {} ==", id.name(), report::platform_label(platform));
+            println!(
+                "\n== {} on {} ==",
+                id.name(),
+                report::platform_label(platform)
+            );
             let sweep = runner::msa_thread_sweep(&data, platform, &MSA_THREAD_SWEEP, &options);
-            let speedups = runner::speedup_curve(&sweep);
-            println!("  {:>7} {:>12} {:>9} {:>9}", "threads", "MSA time", "speedup", "ideal");
+            let speedups = runner::speedup_curve(&sweep)
+                .expect("MSA_THREAD_SWEEP includes the 1-thread baseline");
+            println!(
+                "  {:>7} {:>12} {:>9} {:>9}",
+                "threads", "MSA time", "speedup", "ideal"
+            );
             for ((t, r), (_, s)) in sweep.iter().zip(&speedups) {
                 println!(
                     "  {:>7} {:>12} {:>8.2}x {:>8}x",
@@ -35,9 +43,7 @@ fn main() {
                 );
             }
             let best = runner::recommend_threads(&data, platform, &options);
-            println!(
-                "  -> adaptive recommendation: {best} threads (AF3's static default is 8)"
-            );
+            println!("  -> adaptive recommendation: {best} threads (AF3's static default is 8)");
         }
     }
 }

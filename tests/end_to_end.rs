@@ -21,7 +21,6 @@ fn shared_data(id: SampleId) -> std::sync::Arc<afsysbench::core::context::Sample
         .sample_data(id)
 }
 
-
 fn options() -> PipelineOptions {
     PipelineOptions {
         msa: MsaPhaseOptions {
@@ -35,7 +34,7 @@ fn options() -> PipelineOptions {
 
 #[test]
 fn every_sample_completes_on_both_platforms() {
-        for id in SampleId::all() {
+    for id in SampleId::all() {
         let data = shared_data(id);
         for platform in Platform::all() {
             let r = run_pipeline(&data, platform, 4, &options());
@@ -52,7 +51,7 @@ fn every_sample_completes_on_both_platforms() {
 #[test]
 fn observation_msa_dominates_end_to_end() {
     // Paper §V-B1: MSA is ~75–94 % of total under optimal threading.
-        for id in [SampleId::S1yy9, SampleId::Promo, SampleId::S6qnr] {
+    for id in [SampleId::S1yy9, SampleId::Promo, SampleId::S6qnr] {
         let data = shared_data(id);
         for platform in Platform::all() {
             let r = run_pipeline(&data, platform, 4, &options());
@@ -69,7 +68,7 @@ fn observation_msa_dominates_end_to_end() {
 fn observation_desktop_wins_end_to_end_midscale() {
     // Paper Observation 1: the Desktop consistently beats the Server on
     // mid-scale inputs.
-        for id in [SampleId::S2pv7, SampleId::S1yy9] {
+    for id in [SampleId::S2pv7, SampleId::S1yy9] {
         let data = shared_data(id);
         let server = run_pipeline(&data, Platform::Server, 4, &options());
         let desktop = run_pipeline(&data, Platform::Desktop, 4, &options());
@@ -86,13 +85,12 @@ fn observation_desktop_wins_end_to_end_midscale() {
 fn observation_promo_msa_exceeds_1yy9_despite_similar_length() {
     // Paper Observation 2: poly-Q stretches make promo (857 aa) cost more
     // MSA time than 1YY9 (881 aa).
-        let promo = shared_data(SampleId::Promo);
+    let promo = shared_data(SampleId::Promo);
     let yy9 = shared_data(SampleId::S1yy9);
     // Low-complexity inflates stage-1 survivors and downstream scoring.
     let promo_counters = promo.total_paper_counters();
     let yy9_counters = yy9.total_paper_counters();
-    let promo_rescans_per_res =
-        promo_counters.rescans as f64 / promo_counters.db_residues as f64;
+    let promo_rescans_per_res = promo_counters.rescans as f64 / promo_counters.db_residues as f64;
     let yy9_rescans_per_res = yy9_counters.rescans as f64 / yy9_counters.db_residues as f64;
     assert!(
         promo_rescans_per_res > yy9_rescans_per_res,
@@ -102,7 +100,7 @@ fn observation_promo_msa_exceeds_1yy9_despite_similar_length() {
 
 #[test]
 fn inference_flat_across_threads_msa_scales() {
-        let data = shared_data(SampleId::S7rce);
+    let data = shared_data(SampleId::S7rce);
     let o = options();
     let t1 = run_pipeline(&data, Platform::Desktop, 1, &o);
     let t4 = run_pipeline(&data, Platform::Desktop, 4, &o);
@@ -135,7 +133,7 @@ fn oom_behaviour_matches_fig2_thresholds() {
 
     // And the phase runner surfaces OOM as a non-completing result:
     // 6QNR's 120-nt RNA is fine everywhere.
-        let qnr = shared_data(SampleId::S6qnr);
+    let qnr = shared_data(SampleId::S6qnr);
     let r = run_msa_phase(
         &qnr,
         Platform::Desktop,
@@ -150,7 +148,7 @@ fn oom_behaviour_matches_fig2_thresholds() {
 
 #[test]
 fn deterministic_end_to_end() {
-        let data = shared_data(SampleId::S7rce);
+    let data = shared_data(SampleId::S7rce);
     let a = run_pipeline(&data, Platform::Server, 2, &options());
     let b = run_pipeline(&data, Platform::Server, 2, &options());
     assert_eq!(a.total_seconds(), b.total_seconds());

@@ -24,7 +24,6 @@ fn shared_data(id: SampleId) -> std::sync::Arc<afsysbench::core::context::Sample
         .sample_data(id)
 }
 
-
 fn msa_options() -> MsaPhaseOptions {
     MsaPhaseOptions {
         // Big enough for temporal reuse on the shared window (the LLC
@@ -38,7 +37,7 @@ fn msa_options() -> MsaPhaseOptions {
 /// low-then-rising; Intel near-zero dTLB vs AMD heavy; Intel higher IPC.
 #[test]
 fn table3_cross_architecture_shapes() {
-        let data = shared_data(SampleId::S2pv7);
+    let data = shared_data(SampleId::S2pv7);
     let o = msa_options();
 
     let xeon_1t = cpu_metrics(&run_msa_phase(&data, Platform::Server, 1, &o).sim);
@@ -47,8 +46,16 @@ fn table3_cross_architecture_shapes() {
     let ryzen_6t = cpu_metrics(&run_msa_phase(&data, Platform::Desktop, 6, &o).sim);
 
     // Intel's small LLC is overwhelmed at every thread count.
-    assert!(xeon_1t.llc_miss_pct > 25.0, "xeon 1T LLC {:.1}", xeon_1t.llc_miss_pct);
-    assert!(xeon_6t.llc_miss_pct > 40.0, "xeon 6T LLC {:.1}", xeon_6t.llc_miss_pct);
+    assert!(
+        xeon_1t.llc_miss_pct > 25.0,
+        "xeon 1T LLC {:.1}",
+        xeon_1t.llc_miss_pct
+    );
+    assert!(
+        xeon_6t.llc_miss_pct > 40.0,
+        "xeon 6T LLC {:.1}",
+        xeon_6t.llc_miss_pct
+    );
     // AMD starts low and saturates by 6T (capacity contention).
     assert!(
         ryzen_1t.llc_miss_pct < xeon_1t.llc_miss_pct,
@@ -64,11 +71,23 @@ fn table3_cross_architecture_shapes() {
     );
     // dTLB: Intel negligible (huge pages), AMD heavy.
     assert!(xeon_1t.dtlb_miss_pct < 1.0);
-    assert!(ryzen_1t.dtlb_miss_pct > 10.0, "ryzen dTLB {:.1}", ryzen_1t.dtlb_miss_pct);
+    assert!(
+        ryzen_1t.dtlb_miss_pct > 10.0,
+        "ryzen dTLB {:.1}",
+        ryzen_1t.dtlb_miss_pct
+    );
     // IPC: Intel sustains more per cycle; both stay near Table III's band.
     assert!(xeon_1t.ipc > ryzen_1t.ipc);
-    assert!((2.2..=4.1).contains(&xeon_1t.ipc), "xeon IPC {:.2}", xeon_1t.ipc);
-    assert!((2.0..=3.4).contains(&ryzen_1t.ipc), "ryzen IPC {:.2}", ryzen_1t.ipc);
+    assert!(
+        (2.2..=4.1).contains(&xeon_1t.ipc),
+        "xeon IPC {:.2}",
+        xeon_1t.ipc
+    );
+    assert!(
+        (2.0..=3.4).contains(&ryzen_1t.ipc),
+        "ryzen IPC {:.2}",
+        ryzen_1t.ipc
+    );
     // Branch misses: Intel ≲ 0.4 %, AMD around 1 %.
     assert!(xeon_1t.branch_miss_pct < 0.45);
     assert!((0.5..=1.6).contains(&ryzen_1t.branch_miss_pct));
@@ -78,7 +97,7 @@ fn table3_cross_architecture_shapes() {
 /// cache-miss share shrinks with threads while calc_band_9's grows.
 #[test]
 fn table4_function_level_shapes() {
-        let data = shared_data(SampleId::S2pv7);
+    let data = shared_data(SampleId::S2pv7);
     let o = msa_options();
     let t1 = run_msa_phase(&data, Platform::Server, 1, &o);
     let t4 = run_msa_phase(&data, Platform::Server, 4, &o);
@@ -90,7 +109,10 @@ fn table4_function_level_shapes() {
         "calc_band kernels must dominate cycles: {:.2}",
         cyc9 + cyc10
     );
-    assert!(cyc9 > cyc10, "band9 {cyc9:.3} slightly above band10 {cyc10:.3}");
+    assert!(
+        cyc9 > cyc10,
+        "band9 {cyc9:.3} slightly above band10 {cyc10:.3}"
+    );
     // Buffer management is a visible consumer (test-scale databases
     // inflate the planted-survivor fraction, depressing the I/O share
     // relative to the bench-scale run recorded in EXPERIMENTS.md).
@@ -124,7 +146,7 @@ fn table4_function_level_shapes() {
 /// divergence is recorded in EXPERIMENTS.md.)
 #[test]
 fn promo_prefetch_friendliness_on_intel() {
-        let o = msa_options();
+    let o = msa_options();
     let pv7 = shared_data(SampleId::S2pv7);
     let promo = shared_data(SampleId::Promo);
     let pv7_1t = cpu_metrics(&run_msa_phase(&pv7, Platform::Server, 1, &o).sim);
@@ -144,10 +166,10 @@ fn promo_prefetch_friendliness_on_intel() {
 /// beyond its knee.
 #[test]
 fn thread_scaling_shapes() {
-        let o = msa_options();
+    let o = msa_options();
     let yy9 = shared_data(SampleId::S1yy9);
     let sweep = runner::msa_thread_sweep(&yy9, Platform::Server, &[1, 2, 4, 8], &o);
-    let s = runner::speedup_curve(&sweep);
+    let s = runner::speedup_curve(&sweep).expect("sweep includes the 1-thread baseline");
     assert!(s[1].1 > 1.6, "1→2T near-ideal, got {:.2}", s[1].1);
     let marginal_4_to_8 = s[3].1 / s[2].1;
     assert!(
@@ -172,7 +194,7 @@ fn thread_scaling_shapes() {
 /// the Desktop only.
 #[test]
 fn inference_breakdown_shapes() {
-        let model = ModelConfig::paper();
+    let model = ModelConfig::paper();
     let pv7 = shared_data(SampleId::S2pv7);
     let mk = |platform, data: &afsysbench::core::context::SampleSearchData| {
         run_inference_phase(
@@ -232,9 +254,7 @@ fn layer_distribution_shapes() {
         assert!(tri_attn > tri_mult, "{id}: attention beats mult");
         assert!(global > local, "{id}: global attention dominates diffusion");
         shares.push(global / total);
-        pairformer_totals.push(
-            tri_attn + tri_mult + per_label["pairformer/pair_transition"],
-        );
+        pairformer_totals.push(tri_attn + tri_mult + per_label["pairformer/pair_transition"]);
     }
     // Pairformer cost grows superlinearly with length (857/484 = 1.77x).
     let growth = pairformer_totals[1] / pairformer_totals[0];
