@@ -18,4 +18,12 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Chaos determinism sweep: re-run the fault-injection suite under three
+# fixed seeds. The suite asserts that every seeded plan reaches the same
+# terminal outcome with byte-identical reports on repeat runs, and that
+# a fault-free plan reproduces the baseline pipeline exactly.
+for seed in 101 202 303; do
+    run env AFSB_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
+done
+
 echo "==> tier-1 gate passed"

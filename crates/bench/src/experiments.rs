@@ -168,10 +168,14 @@ impl Harness {
                     r.sample.clone(),
                     r.platform.to_string(),
                     r.threads.to_string(),
-                    report::fmt_seconds(r.msa_seconds()),
-                    report::fmt_seconds(r.inference_seconds()),
-                    report::fmt_seconds(r.total_seconds()),
-                    format!("{:.0}%", r.msa_share() * 100.0),
+                    report::outcome_seconds(r.msa.outcome, r.msa_seconds()),
+                    report::outcome_seconds(r.inference.outcome, r.inference_seconds()),
+                    report::outcome_seconds(r.outcome(), r.total_seconds()),
+                    if r.completed() {
+                        format!("{:.0}%", r.msa_share() * 100.0)
+                    } else {
+                        "-".to_owned()
+                    },
                 ]
             })
             .collect();
@@ -200,7 +204,7 @@ impl Harness {
                     runner::msa_thread_sweep(&data, platform, &MSA_THREAD_SWEEP, &self.msa_options);
                 let mut row = vec![id.name().to_owned(), platform.to_string()];
                 for (_, r) in &sweep {
-                    row.push(report::fmt_seconds(r.wall_seconds()));
+                    row.push(report::outcome_seconds(r.outcome, r.wall_seconds()));
                 }
                 rows.push(row);
             }
@@ -225,7 +229,7 @@ impl Harness {
             .map(|((t, r), (_, s))| {
                 vec![
                     t.to_string(),
-                    report::fmt_seconds(r.wall_seconds()),
+                    report::outcome_seconds(r.outcome, r.wall_seconds()),
                     format!("{s:.2}x"),
                     format!("{:.2}x", *t as f64),
                 ]
@@ -270,12 +274,19 @@ impl Harness {
             for platform in Platform::all() {
                 let best = runner::recommend_threads(&data, platform, &self.msa_options);
                 let r = pipeline::run_pipeline(&data, platform, best, &options);
+                let share = |v: f64| {
+                    if r.completed() {
+                        format!("{:.1}%", v * 100.0)
+                    } else {
+                        r.outcome().as_str().to_ascii_uppercase()
+                    }
+                };
                 rows.push(vec![
                     r.sample.clone(),
                     platform.to_string(),
                     best.to_string(),
-                    format!("{:.1}%", r.msa_share() * 100.0),
-                    format!("{:.1}%", (1.0 - r.msa_share()) * 100.0),
+                    share(r.msa_share()),
+                    share(1.0 - r.msa_share()),
                 ]);
             }
         }

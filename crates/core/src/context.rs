@@ -193,11 +193,25 @@ impl SampleSearchData {
     /// Paper-scale peak MSA memory (protein model at the given thread
     /// count plus the nhmmer curve for the longest RNA chain).
     pub fn paper_peak_msa_bytes(&self, threads: usize) -> u64 {
+        self.paper_peak_msa_bytes_capped(threads, None)
+    }
+
+    /// Paper-scale MSA peak under an optional nhmmer window cap (the
+    /// degradation ladder's second rung): RNA chains are charged at the
+    /// capped length, protein chains are unaffected.
+    pub fn paper_peak_msa_bytes_capped(
+        &self,
+        threads: usize,
+        rna_window_cap: Option<usize>,
+    ) -> u64 {
         let mut peak = 0u64;
         for chain in &self.chains {
             let b = match chain.kind {
                 MoleculeKind::Protein => jackhmmer::paper_peak_bytes(chain.query_len, threads),
-                MoleculeKind::Rna => nhmmer::paper_peak_bytes(chain.query_len),
+                MoleculeKind::Rna => match rna_window_cap {
+                    Some(cap) => nhmmer::paper_peak_bytes_capped(chain.query_len, cap),
+                    None => nhmmer::paper_peak_bytes(chain.query_len),
+                },
                 _ => 0,
             };
             peak = peak.max(b);

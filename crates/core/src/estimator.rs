@@ -93,12 +93,22 @@ impl MemoryEstimator {
     /// per-chain models (the paper found chain *count* has negligible
     /// impact; the longest RNA dominates).
     pub fn msa_peak_bytes(&self, assembly: &Assembly) -> u64 {
+        self.msa_peak_bytes_capped(assembly, None)
+    }
+
+    /// Projected MSA-phase peak under an optional nhmmer window cap —
+    /// what the graceful-degradation ladder asks before committing to
+    /// its second rung.
+    pub fn msa_peak_bytes_capped(&self, assembly: &Assembly, rna_window_cap: Option<usize>) -> u64 {
         let mut peak = 1 << 30; // runtime floor
         for chain in assembly.chains() {
             let len = chain.sequence().len();
             let b = match chain.kind() {
                 MoleculeKind::Protein => jackhmmer::paper_peak_bytes(len, self.threads),
-                MoleculeKind::Rna => nhmmer::paper_peak_bytes(len),
+                MoleculeKind::Rna => match rna_window_cap {
+                    Some(cap) => nhmmer::paper_peak_bytes_capped(len, cap),
+                    None => nhmmer::paper_peak_bytes(len),
+                },
                 _ => 0,
             };
             peak = peak.max(b);

@@ -7,9 +7,11 @@
 //! through the architecture simulator.
 
 use crate::calib;
+use crate::resilience::RunOutcome;
 use afsb_gpu::device::GpuSpec;
-use afsb_gpu::runtime::{GpuRuntime, HostCpuModel, InferenceBreakdown};
+use afsb_gpu::runtime::{GpuInitFault, GpuRuntime, HostCpuModel, InferenceBreakdown};
 use afsb_model::{run_inference, InferenceResult, ModelConfig};
+use afsb_rt::fault::FaultInjector;
 use afsb_seq::chain::Assembly;
 use afsb_simarch::trace::{AccessPattern, AddressSpace, Segment, ThreadProgram, WeightedPattern};
 use afsb_simarch::{Platform, SimEngine, SimResult};
@@ -53,6 +55,11 @@ pub struct InferencePhaseResult {
     /// Host-side architecture simulation of the init+compile phase
     /// (Table V's perf events).
     pub host_sim: SimResult,
+    /// Phase outcome. A result that exists always ran to the end —
+    /// injected init failures return `Err` instead — but the resilient
+    /// executor can downgrade this to `Degraded` (e.g. capped MSA
+    /// depth).
+    pub outcome: RunOutcome,
 }
 
 impl InferencePhaseResult {
@@ -82,6 +89,26 @@ pub fn run_inference_phase(
     platform: Platform,
     options: &InferenceOptions,
 ) -> InferencePhaseResult {
+    run_inference_phase_faulted(assembly, platform, options, &mut FaultInjector::none())
+        .expect("an empty injector cannot fail initialization")
+}
+
+/// Run the inference phase under fault injection: a due GPU-init
+/// failure aborts the request (`Err` carries the wasted init seconds
+/// for the caller's retry accounting) and a due XLA compile stall
+/// inflates the compile phase. With nothing pending this is exactly
+/// [`run_inference_phase`].
+///
+/// # Errors
+///
+/// Returns the [`GpuInitFault`] when an injected initialization
+/// failure kills the request.
+pub fn run_inference_phase_faulted(
+    assembly: &Assembly,
+    platform: Platform,
+    options: &InferenceOptions,
+    injector: &mut FaultInjector,
+) -> Result<InferencePhaseResult, GpuInitFault> {
     let model = run_inference(assembly, options.msa_depth, &options.model, options.seed);
     let runtime = GpuRuntime::new(
         gpu_for(platform),
@@ -89,15 +116,16 @@ pub fn run_inference_phase(
             single_core_score: calib::host_cpu_score(platform),
         },
     );
-    let breakdown = runtime.run_cold(&model.cost_log, model.working_set_bytes);
+    let breakdown = runtime.run_cold_faulted(&model.cost_log, model.working_set_bytes, injector)?;
     let host_sim = simulate_host_phase(platform, &breakdown, options.seed);
-    InferencePhaseResult {
+    Ok(InferencePhaseResult {
         platform,
         threads: options.threads,
         model,
         breakdown,
         host_sim,
-    }
+        outcome: RunOutcome::Completed,
+    })
 }
 
 /// Replay the CPU-side init/compile phase through the architecture

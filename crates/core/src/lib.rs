@@ -17,6 +17,10 @@
 //!   V & VI),
 //! - [`pipeline`]: end-to-end runs combining both phases (Figs. 3 & 7),
 //! - [`estimator`]: the static memory estimator proposed in §VI,
+//! - [`resilience`]: the fault-tolerant executor — retries with capped
+//!   exponential backoff, per-phase deadlines, a circuit breaker,
+//!   checkpoint/resume for the MSA phase and the graceful-degradation
+//!   ladder driven by the estimator's pre-flight verdict,
 //! - [`runner`]: thread sweeps, repeat handling and the adaptive
 //!   thread-count recommendation,
 //! - [`report`]: paper-shaped table/figure renderers (ASCII + CSV),
@@ -30,9 +34,14 @@ pub mod msa_cost;
 pub mod msa_phase;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod results;
 pub mod runner;
 
 pub use context::BenchContext;
 pub use estimator::MemoryEstimator;
 pub use pipeline::{run_pipeline, PipelineResult};
+pub use resilience::{
+    run_resilient, CircuitBreaker, Deadline, DegradeStep, ResilienceOptions, ResilientResult,
+    RetryPolicy, RunOutcome,
+};

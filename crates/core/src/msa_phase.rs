@@ -4,6 +4,8 @@
 use crate::calib::{self, MsaCostModel, MsaPatternModel};
 use crate::context::SampleSearchData;
 use crate::msa_cost;
+use crate::resilience::RunOutcome;
+use afsb_rt::fault::{FaultInjector, FaultKind, FaultSite};
 use afsb_simarch::memory::{AdmissionOutcome, CapacityModel, PageCache};
 use afsb_simarch::storage::{IoPhase, IostatSample, StorageModel};
 use afsb_simarch::{Platform, SimEngine, SimResult};
@@ -20,6 +22,12 @@ pub struct MsaPhaseOptions {
     /// Preload databases into the page cache before execution (§VI
     /// storage strategy 2). Only effective when DRAM can hold them.
     pub preload_databases: bool,
+    /// Extra CXL capacity attached by the degradation ladder (0 = the
+    /// platform's stock memory).
+    pub cxl_expansion_bytes: u64,
+    /// nhmmer query-window cap from the degradation ladder (`None` =
+    /// uncapped full-length windows).
+    pub rna_window_cap: Option<usize>,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -31,6 +39,8 @@ impl Default for MsaPhaseOptions {
             patterns: MsaPatternModel::default(),
             sample_cap: calib::DEFAULT_SAMPLE_CAP,
             preload_databases: false,
+            cxl_expansion_bytes: 0,
+            rna_window_cap: None,
             seed: 42,
         }
     }
@@ -61,6 +71,9 @@ pub struct MsaPhaseResult {
     pub peak_memory_bytes: u64,
     /// Memory admission outcome (OOM behaviour per Fig. 2).
     pub admission: AdmissionOutcome,
+    /// Phase outcome: `Oom` when admission rejects, `Degraded` when a
+    /// degradation option was load-bearing, `Completed` otherwise.
+    pub outcome: RunOutcome,
 }
 
 impl MsaPhaseResult {
@@ -69,9 +82,9 @@ impl MsaPhaseResult {
         self.cpu_seconds + self.io_added_seconds + self.thread_overhead_seconds
     }
 
-    /// Whether the phase completed (no OOM).
+    /// Whether the phase produced timings (possibly degraded).
     pub fn completed(&self) -> bool {
-        self.admission.completes()
+        self.outcome.finished()
     }
 }
 
@@ -86,12 +99,35 @@ pub fn run_msa_phase(
     threads: usize,
     options: &MsaPhaseOptions,
 ) -> MsaPhaseResult {
+    run_msa_phase_faulted(data, platform, threads, options, &mut FaultInjector::none())
+}
+
+/// Simulate the MSA phase under fault injection: storage faults are
+/// absorbed via [`StorageModel::evaluate_faulted`] and a due straggler
+/// ([`FaultSite::MsaCompute`]) inflates the slowest worker's share of
+/// the wall time. Abort-class faults ([`FaultSite::MsaAbort`]) are NOT
+/// polled here — the resilient executor owns the retry loop around
+/// them. With nothing pending this is exactly [`run_msa_phase`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_msa_phase_faulted(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    options: &MsaPhaseOptions,
+    injector: &mut FaultInjector,
+) -> MsaPhaseResult {
     assert!(threads > 0, "need at least one thread");
     let spec = platform.spec();
 
     // Memory admission (Fig. 2 / §III-C): the phase peak must fit.
-    let peak_memory_bytes = data.paper_peak_msa_bytes(threads);
-    let capacity = CapacityModel::new(&spec);
+    // Degradation options change both sides of the check: a window cap
+    // lowers the RNA peak, extra CXL raises the capacity.
+    let peak_memory_bytes = data.paper_peak_msa_bytes_capped(threads, options.rna_window_cap);
+    let stock = CapacityModel::new(&spec);
+    let capacity = stock.clone().with_extra_cxl(options.cxl_expansion_bytes);
     let admission = capacity.admit(peak_memory_bytes);
     if !admission.completes() {
         // The paper's behaviour: the process is OOM-killed mid-run; no
@@ -101,7 +137,7 @@ pub fn run_msa_phase(
         return MsaPhaseResult {
             platform,
             threads,
-            cpu_seconds: f64::NAN,
+            cpu_seconds: 0.0,
             thread_overhead_seconds: 0.0,
             io_added_seconds: 0.0,
             sim,
@@ -113,8 +149,17 @@ pub fn run_msa_phase(
             cold_bytes: 0,
             peak_memory_bytes,
             admission,
+            outcome: RunOutcome::Oom,
         };
     }
+    // The run survives — was a degradation option load-bearing?
+    let uncapped_peak = data.paper_peak_msa_bytes(threads);
+    let degraded = !stock.admit(uncapped_peak).completes();
+    let outcome = if degraded {
+        RunOutcome::Degraded
+    } else {
+        RunOutcome::Completed
+    };
 
     // CPU simulation.
     let programs =
@@ -134,6 +179,15 @@ pub fn run_msa_phase(
             _ => options.cost.protein_search_thread_overhead_s,
         };
         thread_overhead_seconds += per * chain.per_db.len() as f64 * (threads - 1) as f64;
+    }
+
+    // A straggling worker stretches the phase: the scan completes only
+    // when its slowest thread does, so the straggler's excess lands on
+    // the wall as extra overhead.
+    if let Some(FaultKind::Straggler { factor }) = injector.poll(FaultSite::MsaCompute) {
+        let extra = cpu_seconds * (factor.max(1.0) - 1.0);
+        injector.charge(extra);
+        thread_overhead_seconds += extra;
     }
 
     // Storage behaviour (§V-B2c): page-cache residency decides cold
@@ -166,11 +220,14 @@ pub fn run_msa_phase(
         }
     }
     let storage = StorageModel::new(spec.storage);
-    let iostat = storage.evaluate(IoPhase {
-        cold_bytes,
-        compute_seconds: cpu_seconds,
-        sequential: true,
-    });
+    let iostat = storage.evaluate_faulted(
+        IoPhase {
+            cold_bytes,
+            compute_seconds: cpu_seconds,
+            sequential: true,
+        },
+        injector,
+    );
 
     MsaPhaseResult {
         platform,
@@ -183,14 +240,17 @@ pub fn run_msa_phase(
         cold_bytes,
         peak_memory_bytes,
         admission,
+        outcome,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::{BenchContext, ContextConfig};
-    use afsb_seq::samples::SampleId;
+    use crate::context::{BenchContext, ChainSearch, ContextConfig, SampleSearchData};
+    use afsb_rt::fault::{FaultKind, FaultPlan};
+    use afsb_seq::alphabet::MoleculeKind;
+    use afsb_seq::samples::{self, ComplexityClass, Sample, SampleId};
     use std::sync::Arc;
 
     fn options() -> MsaPhaseOptions {
@@ -262,6 +322,99 @@ mod tests {
         assert_eq!(server.cold_bytes, 0, "512 GiB keeps databases cached");
         assert!(desktop.cold_bytes > 0, "64 GiB cannot hold the databases");
         assert!(desktop.iostat.util_pct > server.iostat.util_pct);
+    }
+
+    /// Search data for the synthetic RNA memory probe: no executed
+    /// counters (the admission check happens before any work), just the
+    /// chain geometry the peak-memory model reads.
+    fn rna_probe(len: usize) -> SampleSearchData {
+        let assembly = samples::rna_memory_probe(len);
+        SampleSearchData {
+            sample: Sample {
+                id: SampleId::S6qnr,
+                assembly,
+                complexity: ComplexityClass::High,
+                characteristic: "synthetic RNA memory probe",
+            },
+            chains: vec![ChainSearch {
+                chain_id: "R".into(),
+                kind: MoleculeKind::Rna,
+                query_len: len,
+                low_complexity_fraction: 0.0,
+                per_db: Vec::new(),
+            }],
+            msa_depth: 64,
+        }
+    }
+
+    #[test]
+    fn oversized_rna_ooms_with_outcome_not_nan() {
+        // Fig. 2: 1,135 nt needs ~644 GiB — far beyond the desktop.
+        let r = run_msa_phase(&rna_probe(1135), Platform::Desktop, 8, &options());
+        assert_eq!(r.outcome, RunOutcome::Oom);
+        assert!(!r.completed());
+        assert!(!r.admission.completes());
+        // No NaN sentinel: an unfinished run reports zero work, and the
+        // outcome carries the terminal state.
+        assert_eq!(r.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn cxl_expansion_turns_oom_into_degraded() {
+        // 1,335 nt (~810 GiB) exceeds the server's stock 764 GiB but
+        // fits once the ladder attaches another 256 GiB of CXL.
+        let d = rna_probe(1335);
+        let stock = run_msa_phase(&d, Platform::Server, 8, &options());
+        assert_eq!(stock.outcome, RunOutcome::Oom);
+        let expanded = run_msa_phase(
+            &d,
+            Platform::Server,
+            8,
+            &MsaPhaseOptions {
+                cxl_expansion_bytes: 256 << 30,
+                ..options()
+            },
+        );
+        assert_eq!(expanded.outcome, RunOutcome::Degraded);
+        assert!(expanded.completed());
+    }
+
+    #[test]
+    fn faulted_with_empty_injector_matches_clean_run() {
+        let d = data(SampleId::S7rce);
+        let clean = run_msa_phase(&d, Platform::Desktop, 2, &options());
+        let mut inj = FaultInjector::none();
+        let faulted = run_msa_phase_faulted(&d, Platform::Desktop, 2, &options(), &mut inj);
+        assert_eq!(clean.wall_seconds(), faulted.wall_seconds());
+        assert_eq!(clean.cold_bytes, faulted.cold_bytes);
+        assert_eq!(clean.outcome, faulted.outcome);
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn straggler_fault_stretches_wall_time() {
+        let d = data(SampleId::S7rce);
+        let clean = run_msa_phase(&d, Platform::Server, 4, &options());
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::Straggler { factor: 1.5 })
+            .injector();
+        let slow = run_msa_phase_faulted(&d, Platform::Server, 4, &options(), &mut inj);
+        let expected = clean.cpu_seconds * 0.5;
+        assert!((slow.wall_seconds() - clean.wall_seconds() - expected).abs() < 1e-9);
+        assert_eq!(inj.events().len(), 1);
+        assert!((inj.total_lost_seconds() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_stall_lands_on_io_time() {
+        let d = data(SampleId::S7rce);
+        let clean = run_msa_phase(&d, Platform::Desktop, 2, &options());
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::StorageStall { stall_seconds: 9.0 })
+            .injector();
+        let stalled = run_msa_phase_faulted(&d, Platform::Desktop, 2, &options(), &mut inj);
+        assert!((stalled.io_added_seconds - clean.io_added_seconds - 9.0).abs() < 1e-9);
+        assert!((inj.total_lost_seconds() - 9.0).abs() < 1e-9);
     }
 
     #[test]

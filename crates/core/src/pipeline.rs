@@ -3,6 +3,7 @@
 use crate::context::SampleSearchData;
 use crate::inference_phase::{self, InferenceOptions, InferencePhaseResult};
 use crate::msa_phase::{self, MsaPhaseOptions, MsaPhaseResult};
+use crate::resilience::RunOutcome;
 use afsb_model::ModelConfig;
 use afsb_simarch::Platform;
 
@@ -53,9 +54,17 @@ impl PipelineResult {
         self.msa_seconds() / self.total_seconds().max(1e-12)
     }
 
-    /// Whether the run completed (no OOM).
+    /// End-to-end outcome: the worse of the two phases (severity is
+    /// ordered, so `max` composes). An MSA OOM poisons the whole run —
+    /// a structure predicted from a missing MSA is not a completed
+    /// pipeline — and a degraded phase makes the pipeline degraded.
+    pub fn outcome(&self) -> RunOutcome {
+        self.msa.outcome.max(self.inference.outcome)
+    }
+
+    /// Whether the whole run (both phases) finished.
     pub fn completed(&self) -> bool {
-        self.msa.completed()
+        self.outcome().finished()
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::msa_phase::MsaPhaseResult;
 use crate::pipeline::PipelineResult;
+use crate::resilience::{ResilientResult, RunOutcome};
 use afsb_simarch::perf::PerfReport;
 use afsb_simarch::{Platform, SimResult};
 use std::fmt::Write as _;
@@ -208,6 +209,60 @@ pub fn fmt_seconds(s: f64) -> String {
     }
 }
 
+/// Format a measured duration for a run that may not have finished:
+/// the outcome label (`OOM` / `FAILED`) replaces the meaningless
+/// seconds of an unfinished run.
+pub fn outcome_seconds(outcome: RunOutcome, s: f64) -> String {
+    if outcome.finished() {
+        fmt_seconds(s)
+    } else {
+        outcome.as_str().to_ascii_uppercase()
+    }
+}
+
+/// The chaos report: one row per resilient execution, with retry,
+/// recovery and degradation accounting. Deterministic — identical
+/// results render to byte-identical text.
+pub fn resilience_table(results: &[ResilientResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let degradation = if r.degrade_steps.is_empty() {
+                "-".to_owned()
+            } else {
+                r.degrade_steps
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            vec![
+                r.sample.clone(),
+                r.platform.to_string(),
+                r.outcome.to_string(),
+                r.retries.to_string(),
+                fmt_seconds(r.recovery_seconds),
+                degradation,
+                r.fault_events.len().to_string(),
+                outcome_seconds(r.outcome, r.wall_seconds),
+            ]
+        })
+        .collect();
+    ascii_table(
+        &[
+            "Sample",
+            "Platform",
+            "Outcome",
+            "Retries",
+            "Recovery",
+            "Degradation",
+            "Faults",
+            "Total",
+        ],
+        &rows,
+    )
+}
+
 /// Platform label used in figure outputs.
 pub fn platform_label(p: Platform) -> &'static str {
     match p {
@@ -256,5 +311,13 @@ mod tests {
         assert_eq!(fmt_seconds(600.0), "10.0m");
         assert_eq!(fmt_seconds(8000.0), "2.22h");
         assert_eq!(fmt_seconds(f64::NAN), "OOM");
+    }
+
+    #[test]
+    fn outcome_seconds_labels_unfinished_runs() {
+        assert_eq!(outcome_seconds(RunOutcome::Completed, 12.34), "12.3s");
+        assert_eq!(outcome_seconds(RunOutcome::Degraded, 600.0), "10.0m");
+        assert_eq!(outcome_seconds(RunOutcome::Oom, 12.34), "OOM");
+        assert_eq!(outcome_seconds(RunOutcome::Failed, 12.34), "FAILED");
     }
 }

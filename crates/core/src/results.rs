@@ -8,9 +8,15 @@
 //! Serialization is fully deterministic: field order is fixed by the
 //! `to_json` impls and number formatting by `afsb_rt::json`, so the same
 //! records always produce byte-identical output.
+//!
+//! Runs that did not finish have *no* wall time: the timing fields are
+//! `Option<f64>` serialized as `null`, and the terminal state lives in
+//! the `outcome` field. (JSON has no NaN literal — the old NaN sentinel
+//! serialized to `null` and could never parse back.)
 
 use crate::msa_phase::MsaPhaseResult;
 use crate::pipeline::PipelineResult;
+use crate::resilience::{ResilientResult, RunOutcome};
 use afsb_rt::json::obj;
 use afsb_rt::{FromJson, Json, JsonError, ToJson};
 
@@ -23,41 +29,50 @@ pub struct PipelineRecord {
     pub platform: String,
     /// Worker threads.
     pub threads: usize,
-    /// MSA wall seconds.
-    pub msa_s: f64,
-    /// Inference wall seconds.
-    pub inference_s: f64,
-    /// End-to-end wall seconds.
-    pub total_s: f64,
-    /// MSA share of total, in `[0, 1]`.
-    pub msa_share: f64,
-    /// Whether the run completed (no OOM).
-    pub completed: bool,
-    /// Aggregate MSA-phase IPC.
+    /// Terminal outcome of the run.
+    pub outcome: RunOutcome,
+    /// MSA wall seconds (`None` unless the run finished).
+    pub msa_s: Option<f64>,
+    /// Inference wall seconds (`None` unless the run finished).
+    pub inference_s: Option<f64>,
+    /// End-to-end wall seconds (`None` unless the run finished).
+    pub total_s: Option<f64>,
+    /// MSA share of total, in `[0, 1]` (`None` unless finished).
+    pub msa_share: Option<f64>,
+    /// Retry attempts consumed (0 for non-resilient runs).
+    pub retries: u64,
+    /// Simulated seconds lost to faults and backoffs (0.0 when none).
+    pub recovery_s: f64,
+    /// Aggregate MSA-phase IPC (0.0 when the phase produced no work).
     pub msa_ipc: f64,
-    /// MSA-phase LLC miss ratio.
+    /// MSA-phase LLC miss ratio (0.0 when the phase produced no work).
     pub msa_llc_miss: f64,
-    /// Inference init seconds.
+    /// Inference init seconds (0.0 when inference never ran).
     pub init_s: f64,
-    /// Inference XLA-compile seconds.
+    /// Inference XLA-compile seconds (0.0 when inference never ran).
     pub xla_s: f64,
-    /// Inference GPU-compute seconds.
+    /// Inference GPU-compute seconds (0.0 when inference never ran).
     pub gpu_s: f64,
-    /// Unified-memory spill fraction.
+    /// Unified-memory spill fraction (0.0 when inference never ran).
     pub uvm_fraction: f64,
 }
 
 impl From<&PipelineResult> for PipelineRecord {
     fn from(r: &PipelineResult) -> PipelineRecord {
+        let outcome = r.outcome();
+        let finished = outcome.finished();
+        let t = |v: f64| finished.then_some(v);
         PipelineRecord {
             sample: r.sample.clone(),
             platform: r.platform.to_string(),
             threads: r.threads,
-            msa_s: r.msa_seconds(),
-            inference_s: r.inference_seconds(),
-            total_s: r.total_seconds(),
-            msa_share: r.msa_share(),
-            completed: r.completed(),
+            outcome,
+            msa_s: t(r.msa_seconds()),
+            inference_s: t(r.inference_seconds()),
+            total_s: t(r.total_seconds()),
+            msa_share: t(r.msa_share()),
+            retries: 0,
+            recovery_s: 0.0,
             msa_ipc: r.msa.sim.ipc(),
             msa_llc_miss: r.msa.sim.totals.llc_miss_ratio(),
             init_s: r.inference.breakdown.init_s,
@@ -68,10 +83,65 @@ impl From<&PipelineResult> for PipelineRecord {
     }
 }
 
+impl PipelineRecord {
+    /// Flatten a resilient execution, carrying its retry and recovery
+    /// accounting. Unfinished runs serialize with `null` timings.
+    pub fn from_resilient(r: &ResilientResult) -> PipelineRecord {
+        let mut record = match &r.pipeline {
+            Some(p) => PipelineRecord::from(p),
+            None => PipelineRecord {
+                sample: r.sample.clone(),
+                platform: r.platform.to_string(),
+                threads: r.threads,
+                outcome: r.outcome,
+                msa_s: None,
+                inference_s: None,
+                total_s: None,
+                msa_share: None,
+                retries: 0,
+                recovery_s: 0.0,
+                msa_ipc: 0.0,
+                msa_llc_miss: 0.0,
+                init_s: 0.0,
+                xla_s: 0.0,
+                gpu_s: 0.0,
+                uvm_fraction: 0.0,
+            },
+        };
+        record.outcome = r.outcome;
+        if record.outcome.finished() {
+            // Resilient totals include redone work and backoffs.
+            record.total_s = Some(r.wall_seconds);
+        }
+        record.retries = r.retries;
+        record.recovery_s = r.recovery_seconds;
+        record
+    }
+}
+
 fn f64_field(v: &Json, key: &str) -> Result<f64, JsonError> {
     v.field(key)?
         .as_f64()
         .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number")))
+}
+
+/// An optional number: `null` means "no measurement" (the run did not
+/// finish), anything else must be a number.
+fn opt_f64_field(v: &Json, key: &str) -> Result<Option<f64>, JsonError> {
+    let field = v.field(key)?;
+    if matches!(field, Json::Null) {
+        return Ok(None);
+    }
+    field
+        .as_f64()
+        .map(Some)
+        .ok_or_else(|| JsonError::msg(format!("'{key}' must be a number or null")))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, JsonError> {
+    v.field(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::msg(format!("'{key}' must be an integer")))
 }
 
 fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
@@ -81,17 +151,25 @@ fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
         .to_owned())
 }
 
+fn outcome_field(v: &Json, key: &str) -> Result<RunOutcome, JsonError> {
+    let s = str_field(v, key)?;
+    RunOutcome::parse(&s)
+        .ok_or_else(|| JsonError::msg(format!("'{key}' has unknown outcome '{s}'")))
+}
+
 impl ToJson for PipelineRecord {
     fn to_json(&self) -> Json {
         obj()
             .field("sample", self.sample.as_str())
             .field("platform", self.platform.as_str())
             .field("threads", self.threads)
+            .field("outcome", self.outcome.as_str())
             .field("msa_s", self.msa_s)
             .field("inference_s", self.inference_s)
             .field("total_s", self.total_s)
             .field("msa_share", self.msa_share)
-            .field("completed", self.completed)
+            .field("retries", self.retries)
+            .field("recovery_s", self.recovery_s)
             .field("msa_ipc", self.msa_ipc)
             .field("msa_llc_miss", self.msa_llc_miss)
             .field("init_s", self.init_s)
@@ -111,14 +189,13 @@ impl FromJson for PipelineRecord {
                 .field("threads")?
                 .as_usize()
                 .ok_or_else(|| JsonError::msg("'threads' must be an integer"))?,
-            msa_s: f64_field(v, "msa_s")?,
-            inference_s: f64_field(v, "inference_s")?,
-            total_s: f64_field(v, "total_s")?,
-            msa_share: f64_field(v, "msa_share")?,
-            completed: v
-                .field("completed")?
-                .as_bool()
-                .ok_or_else(|| JsonError::msg("'completed' must be a bool"))?,
+            outcome: outcome_field(v, "outcome")?,
+            msa_s: opt_f64_field(v, "msa_s")?,
+            inference_s: opt_f64_field(v, "inference_s")?,
+            total_s: opt_f64_field(v, "total_s")?,
+            msa_share: opt_f64_field(v, "msa_share")?,
+            retries: u64_field(v, "retries")?,
+            recovery_s: f64_field(v, "recovery_s")?,
             msa_ipc: f64_field(v, "msa_ipc")?,
             msa_llc_miss: f64_field(v, "msa_llc_miss")?,
             init_s: f64_field(v, "init_s")?,
@@ -251,6 +328,45 @@ mod tests {
         // so the whole record round-trips exactly.
         assert_eq!(back[0], record);
         assert!(json.contains("\"sample\": \"7RCE\""));
+        assert!(json.contains("\"outcome\": \"completed\""));
+    }
+
+    #[test]
+    fn oom_record_roundtrips_with_null_timings() {
+        // The regression the old NaN sentinel had: an OOM row serialized
+        // its seconds as `null` (JSON has no NaN) and then failed to
+        // parse back. Outcome + Option<f64> round-trips exactly.
+        let record = PipelineRecord {
+            sample: "6QNR".to_owned(),
+            platform: "desktop".to_owned(),
+            threads: 8,
+            outcome: RunOutcome::Oom,
+            msa_s: None,
+            inference_s: None,
+            total_s: None,
+            msa_share: None,
+            retries: 2,
+            recovery_s: 37.5,
+            msa_ipc: 0.0,
+            msa_llc_miss: 0.0,
+            init_s: 0.0,
+            xla_s: 0.0,
+            gpu_s: 0.0,
+            uvm_fraction: 0.0,
+        };
+        let json = to_json(std::slice::from_ref(&record));
+        assert!(json.contains("\"outcome\": \"oom\""));
+        assert!(json.contains("\"msa_s\": null"));
+        let back: Vec<PipelineRecord> = from_json(&json).unwrap();
+        assert_eq!(back, vec![record]);
+    }
+
+    #[test]
+    fn unknown_outcome_label_rejected() {
+        let r = result();
+        let json = to_json(&[PipelineRecord::from(&r)]);
+        let bad = json.replace("\"completed\"", "\"exploded\"");
+        assert!(from_json::<PipelineRecord>(&bad).is_err());
     }
 
     #[test]
@@ -273,9 +389,16 @@ mod tests {
     fn record_fields_consistent_with_result() {
         let r = result();
         let record = PipelineRecord::from(&r);
-        assert!((record.total_s - record.msa_s - record.inference_s).abs() < 1e-9);
-        assert!((0.0..=1.0).contains(&record.msa_share));
-        assert!(record.completed);
+        let (msa_s, inference_s, total_s) = (
+            record.msa_s.unwrap(),
+            record.inference_s.unwrap(),
+            record.total_s.unwrap(),
+        );
+        assert!((total_s - msa_s - inference_s).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&record.msa_share.unwrap()));
+        assert_eq!(record.outcome, RunOutcome::Completed);
+        assert_eq!(record.retries, 0);
+        assert_eq!(record.recovery_s, 0.0);
         let sweep = MsaSweepRecord::from(&r.msa);
         assert_eq!(sweep.threads, 2);
         assert!(sweep.wall_s >= sweep.cpu_s);

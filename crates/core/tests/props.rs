@@ -1,10 +1,13 @@
 //! Property-based tests for the estimator and cost-mapping invariants.
 
 use afsb_core::calib::{MsaCostModel, MsaPatternModel};
+use afsb_core::context::{ChainSearch, SampleSearchData};
+use afsb_core::msa_phase::{run_msa_phase, MsaPhaseOptions};
 use afsb_core::MemoryEstimator;
 use afsb_hmmer::{jackhmmer, nhmmer};
 use afsb_rt::check::{run, Config};
-use afsb_seq::samples;
+use afsb_seq::alphabet::MoleculeKind;
+use afsb_seq::samples::{self, ComplexityClass, Sample, SampleId};
 use afsb_simarch::Platform;
 
 #[test]
@@ -85,6 +88,75 @@ fn preflight_never_panics_and_is_consistent() {
             }
         },
     );
+}
+
+/// Search data mirroring [`samples::rna_memory_probe`]: the same chain
+/// geometry the estimator sees, with no executed counters (the
+/// admission check reads only lengths and kinds).
+fn probe_data(rna_len: usize) -> SampleSearchData {
+    let assembly = samples::rna_memory_probe(rna_len);
+    SampleSearchData {
+        sample: Sample {
+            id: SampleId::S6qnr,
+            assembly,
+            complexity: ComplexityClass::High,
+            characteristic: "synthetic RNA memory probe",
+        },
+        chains: vec![
+            ChainSearch {
+                chain_id: "A".into(),
+                kind: MoleculeKind::Protein,
+                query_len: 150,
+                low_complexity_fraction: 0.0,
+                per_db: Vec::new(),
+            },
+            ChainSearch {
+                chain_id: "R".into(),
+                kind: MoleculeKind::Rna,
+                query_len: rna_len,
+                low_complexity_fraction: 0.0,
+                per_db: Vec::new(),
+            },
+        ],
+        msa_depth: 64,
+    }
+}
+
+fn assert_estimate_matches_simulation(rna_len: usize) {
+    let est = MemoryEstimator::new(8);
+    let data = probe_data(rna_len);
+    let opts = MsaPhaseOptions {
+        sample_cap: 1,
+        ..MsaPhaseOptions::default()
+    };
+    for platform in Platform::all() {
+        let predicted_safe = est.preflight(&data.sample.assembly, platform).safe();
+        let simulated = run_msa_phase(&data, platform, 8, &opts);
+        assert_eq!(
+            predicted_safe,
+            simulated.outcome.finished(),
+            "{platform} at {rna_len} nt: estimator says safe={predicted_safe}, simulation says {}",
+            simulated.outcome
+        );
+    }
+}
+
+#[test]
+fn estimator_oom_prediction_matches_simulated_admission() {
+    // The §VI promise: the pre-flight verdict from the input JSON alone
+    // must agree with what the simulated run actually does — at random
+    // lengths and exactly at the Fig. 2 anchor thresholds.
+    run(
+        "estimator_oom_prediction_matches_simulated_admission",
+        Config::cases(24),
+        |g| {
+            let rna_len = g.range(200usize..2000);
+            assert_estimate_matches_simulation(rna_len);
+        },
+    );
+    for rna_len in [621, 935, 1135, 1335] {
+        assert_estimate_matches_simulation(rna_len);
+    }
 }
 
 #[test]

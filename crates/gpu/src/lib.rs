@@ -26,5 +26,5 @@ pub mod xla;
 
 pub use device::GpuSpec;
 pub use kernel::price_log;
-pub use runtime::{GpuRuntime, InferenceBreakdown};
+pub use runtime::{GpuInitFault, GpuRuntime, InferenceBreakdown};
 pub use timeline::Timeline;

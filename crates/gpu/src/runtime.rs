@@ -8,6 +8,7 @@ use crate::device::GpuSpec;
 use crate::kernel::price_log;
 use crate::timeline::Timeline;
 use crate::xla::{self, CompileCostModel, CompileReport, XlaGraph};
+use afsb_rt::fault::{FaultInjector, FaultKind, FaultSite};
 use afsb_tensor::cost::CostLog;
 use std::collections::BTreeMap;
 
@@ -74,6 +75,14 @@ impl InferenceBreakdown {
     pub fn overhead_share(&self) -> f64 {
         1.0 - self.gpu_compute_s / self.total_s().max(1e-12)
     }
+}
+
+/// An injected GPU initialization failure: the request died before any
+/// useful work, wasting the init phase's wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuInitFault {
+    /// Simulated seconds burnt on the failed initialization.
+    pub wasted_seconds: f64,
 }
 
 /// The GPU runtime for one device + host pairing.
@@ -154,6 +163,42 @@ impl GpuRuntime {
             compile_report: report,
             timeline,
         }
+    }
+
+    /// Execute one cold inference request under fault injection.
+    ///
+    /// Two sites are polled: [`FaultSite::GpuInit`] right after the init
+    /// phase — a due [`FaultKind::GpuInitFailure`] aborts the request,
+    /// returning the seconds burnt on the failed init so the caller can
+    /// charge a retry — and [`FaultSite::XlaCompile`] — a due
+    /// [`FaultKind::XlaCompileStall`] inflates compilation by its factor
+    /// (a phase deadline upstream turns that into a timeout). With
+    /// nothing pending this is exactly [`Self::run_cold`].
+    pub fn run_cold_faulted(
+        &self,
+        cost_log: &CostLog,
+        working_set_bytes: u64,
+        injector: &mut FaultInjector,
+    ) -> Result<InferenceBreakdown, GpuInitFault> {
+        let mut breakdown = self.run_cold(cost_log, working_set_bytes);
+        if let Some(FaultKind::GpuInitFailure) = injector.poll(FaultSite::GpuInit) {
+            injector.charge(breakdown.init_s);
+            return Err(GpuInitFault {
+                wasted_seconds: breakdown.init_s,
+            });
+        }
+        if let Some(FaultKind::XlaCompileStall { factor }) = injector.poll(FaultSite::XlaCompile) {
+            let stalled = breakdown.xla_compile_s * factor.max(1.0);
+            injector.charge(stalled - breakdown.xla_compile_s);
+            breakdown.xla_compile_s = stalled;
+            let mut timeline = Timeline::new();
+            timeline.push("init", breakdown.init_s);
+            timeline.push("xla_compile", breakdown.xla_compile_s);
+            timeline.push("gpu_compute", breakdown.gpu_compute_s);
+            timeline.push("finalize", breakdown.finalize_s);
+            breakdown.timeline = timeline;
+        }
+        Ok(breakdown)
     }
 
     /// Execute a warm request against a persistent session (§VI): init and
@@ -302,6 +347,51 @@ mod tests {
         assert!(warm.init_s < cold.init_s / 10.0);
         assert!((warm.gpu_compute_s - cold.gpu_compute_s).abs() < 1e-9);
         assert!(warm.total_s() < cold.total_s() * 0.5);
+    }
+
+    #[test]
+    fn faulted_run_without_faults_matches_clean_run() {
+        let rt = desktop_runtime();
+        let clean = rt.run_cold(&small_log(), 8 << 30);
+        let faulted = rt
+            .run_cold_faulted(&small_log(), 8 << 30, &mut FaultInjector::none())
+            .expect("no fault armed");
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn init_failure_wastes_init_then_retry_succeeds() {
+        use afsb_rt::fault::FaultPlan;
+        let rt = server_runtime();
+        let mut inj = FaultPlan::none().with(FaultKind::GpuInitFailure).injector();
+        let err = rt
+            .run_cold_faulted(&small_log(), 8 << 30, &mut inj)
+            .expect_err("armed init failure must abort");
+        let clean = rt.run_cold(&small_log(), 8 << 30);
+        assert_eq!(err.wasted_seconds, clean.init_s);
+        assert_eq!(inj.total_lost_seconds(), clean.init_s);
+        let retry = rt
+            .run_cold_faulted(&small_log(), 8 << 30, &mut inj)
+            .expect("fault consumed: retry completes");
+        assert_eq!(retry, clean);
+    }
+
+    #[test]
+    fn compile_stall_inflates_only_the_compile_phase() {
+        use afsb_rt::fault::FaultPlan;
+        let rt = server_runtime();
+        let clean = rt.run_cold(&small_log(), 8 << 30);
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::XlaCompileStall { factor: 4.0 })
+            .injector();
+        let stalled = rt
+            .run_cold_faulted(&small_log(), 8 << 30, &mut inj)
+            .expect("a stall does not abort");
+        assert!((stalled.xla_compile_s - clean.xla_compile_s * 4.0).abs() < 1e-9);
+        assert_eq!(stalled.init_s, clean.init_s);
+        assert_eq!(stalled.gpu_compute_s, clean.gpu_compute_s);
+        assert!((stalled.timeline.total_seconds() - stalled.total_s()).abs() < 1e-9);
+        assert!((inj.total_lost_seconds() - clean.xla_compile_s * 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -157,6 +157,15 @@ pub fn paper_peak_bytes(len: usize) -> u64 {
     (gib * (1u64 << 30) as f64) as u64
 }
 
+/// Peak memory under a query-window cap of `window_cap` nucleotides: the
+/// graceful-degradation ladder's second rung. Capping the window bounds
+/// the envelope population, so memory follows the curve at the *capped*
+/// length — at the quality cost of alignments split across window
+/// boundaries. A cap at or above the query length changes nothing.
+pub fn paper_peak_bytes_capped(len: usize, window_cap: usize) -> u64 {
+    paper_peak_bytes(len.min(window_cap))
+}
+
 /// Same curve in GiB (convenient for reports).
 pub fn paper_peak_gib(len: usize) -> f64 {
     let l = (len as f64).max(1.0);
@@ -229,6 +238,15 @@ mod tests {
         assert!((paper_peak_gib(1135) - 644.0).abs() < 2.0);
         // 1,335 nt exceeds the server's 768 GiB total capacity.
         assert!(paper_peak_gib(1335) > 768.0);
+    }
+
+    #[test]
+    fn window_cap_bounds_the_memory_curve() {
+        // A 1,135-nt query capped to 900 nt costs what a 900-nt query
+        // costs; a cap at or above the length is a no-op.
+        assert_eq!(paper_peak_bytes_capped(1135, 900), paper_peak_bytes(900));
+        assert_eq!(paper_peak_bytes_capped(621, 900), paper_peak_bytes(621));
+        assert!(paper_peak_bytes_capped(1135, 900) < paper_peak_bytes(1135));
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Deterministic fault injection for the simulated AF3 pipeline.
+//!
+//! The paper's central failure mode — a long-RNA nhmmer run OOM-killed
+//! after hours of MSA (§III-C, Fig. 2) — is only the most visible member
+//! of a family of faults a production serving stack has to survive:
+//! transient storage errors, crashed or straggling search workers, GPU
+//! initialization failures, runaway XLA compiles. This module provides
+//! the *chaos side* of that story: a seeded [`FaultPlan`] describing
+//! which faults fire where, and a [`FaultInjector`] the simulated
+//! subsystems poll at well-defined sites.
+//!
+//! Everything is charged in **simulated seconds** and derived purely from
+//! the plan contents, never from wall-clock time or ambient randomness:
+//! the same plan always produces the same fault sequence, the same event
+//! log, and byte-identical downstream reports. An empty plan is free —
+//! every poll returns `None` and the instrumented code paths reduce to
+//! their fault-free behaviour.
+
+use crate::rng::{mix, Rng};
+use std::fmt;
+
+/// Where in the pipeline a fault can be delivered. Each site has exactly
+/// one consumer per execution path, so plan order fully determines
+/// delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Aborts the in-flight MSA attempt (OOM kill, worker crash). Polled
+    /// by the resilient runner and by the checkpointing jackhmmer driver.
+    MsaAbort,
+    /// Slows the MSA attempt without aborting it (straggler worker).
+    MsaCompute,
+    /// The storage path of a database scan (read errors, device stalls).
+    Storage,
+    /// GPU driver/context initialization.
+    GpuInit,
+    /// XLA compilation.
+    XlaCompile,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultSite::MsaAbort => "msa-abort",
+            FaultSite::MsaCompute => "msa-compute",
+            FaultSite::Storage => "storage",
+            FaultSite::GpuInit => "gpu-init",
+            FaultSite::XlaCompile => "xla-compile",
+        })
+    }
+}
+
+/// A concrete injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The process is OOM-killed after `at_fraction` of the remaining MSA
+    /// work (the paper's mid-MSA kill).
+    OomKill {
+        /// Fraction of the attempt's remaining work completed (and, absent
+        /// a checkpoint, lost) at the kill, in `(0, 1]`.
+        at_fraction: f64,
+    },
+    /// One search worker crashes, taking the whole attempt down after
+    /// `at_fraction` of its work.
+    WorkerCrash {
+        /// Fraction of the attempt's work done when the worker died.
+        at_fraction: f64,
+    },
+    /// One search worker runs `factor`× slower than its siblings; the scan
+    /// completes but its wall time inflates.
+    Straggler {
+        /// Slowdown factor (> 1.0).
+        factor: f64,
+    },
+    /// A transient storage read error: the scan's cold bytes must be
+    /// re-read once.
+    StorageReadError,
+    /// The storage device stalls for a fixed number of simulated seconds.
+    StorageStall {
+        /// Stall duration in simulated seconds.
+        stall_seconds: f64,
+    },
+    /// GPU driver/context initialization fails; the request must be
+    /// retried from scratch.
+    GpuInitFailure,
+    /// XLA compilation stalls to `factor`× its normal duration (the
+    /// "compile timeout" scenario — a phase deadline converts the stall
+    /// into an abort).
+    XlaCompileStall {
+        /// Compile-time inflation factor (> 1.0).
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// The site this fault is delivered at.
+    pub fn site(&self) -> FaultSite {
+        match self {
+            FaultKind::OomKill { .. } | FaultKind::WorkerCrash { .. } => FaultSite::MsaAbort,
+            FaultKind::Straggler { .. } => FaultSite::MsaCompute,
+            FaultKind::StorageReadError | FaultKind::StorageStall { .. } => FaultSite::Storage,
+            FaultKind::GpuInitFailure => FaultSite::GpuInit,
+            FaultKind::XlaCompileStall { .. } => FaultSite::XlaCompile,
+        }
+    }
+
+    /// Stable label used in event logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::OomKill { .. } => "oom-kill",
+            FaultKind::WorkerCrash { .. } => "worker-crash",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::StorageReadError => "storage-read-error",
+            FaultKind::StorageStall { .. } => "storage-stall",
+            FaultKind::GpuInitFailure => "gpu-init-failure",
+            FaultKind::XlaCompileStall { .. } => "xla-compile-stall",
+        }
+    }
+}
+
+/// One planned fault: delivered at the first poll of its site whose
+/// simulated clock has reached `not_before_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// What fails.
+    pub kind: FaultKind,
+    /// Earliest simulated second at which the fault may fire.
+    pub not_before_s: f64,
+}
+
+/// A deterministic schedule of faults for one job execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing fails.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults, in delivery order.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Add a fault deliverable from simulated time zero.
+    pub fn with(self, kind: FaultKind) -> FaultPlan {
+        self.with_at(kind, 0.0)
+    }
+
+    /// Add a fault deliverable once the simulated clock reaches
+    /// `not_before_s`.
+    pub fn with_at(mut self, kind: FaultKind, not_before_s: f64) -> FaultPlan {
+        self.faults.push(ScheduledFault { kind, not_before_s });
+        self
+    }
+
+    /// Draw a random plan from a seed: one to four faults over all kinds,
+    /// with parameters in realistic ranges. Same seed, same plan.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut rng = Rng::seed_from_u64(mix(seed, 0xFA17));
+        let n = rng.gen_range(1u64..5) as usize;
+        let mut plan = FaultPlan::none();
+        for _ in 0..n {
+            let kind = match rng.gen_range(0u64..7) {
+                0 => FaultKind::OomKill {
+                    at_fraction: rng.gen_range(0.05..0.95),
+                },
+                1 => FaultKind::WorkerCrash {
+                    at_fraction: rng.gen_range(0.05..0.95),
+                },
+                2 => FaultKind::Straggler {
+                    factor: rng.gen_range(1.2..3.0),
+                },
+                3 => FaultKind::StorageReadError,
+                4 => FaultKind::StorageStall {
+                    stall_seconds: rng.gen_range(1.0..30.0),
+                },
+                5 => FaultKind::GpuInitFailure,
+                _ => FaultKind::XlaCompileStall {
+                    factor: rng.gen_range(1.5..6.0),
+                },
+            };
+            let not_before_s = if rng.gen_bool(0.25) {
+                rng.gen_range(0.0..300.0)
+            } else {
+                0.0
+            };
+            plan = plan.with_at(kind, not_before_s);
+        }
+        plan
+    }
+
+    /// Build the injector that delivers this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            pending: self.faults.clone(),
+            fired: Vec::new(),
+            clock_s: 0.0,
+        }
+    }
+}
+
+/// One delivered fault, with its accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Site the fault fired at.
+    pub site: FaultSite,
+    /// The fault delivered.
+    pub kind: FaultKind,
+    /// Simulated clock when it fired.
+    pub at_s: f64,
+    /// Simulated seconds the fault cost (filled in by the consumer via
+    /// [`FaultInjector::charge`]).
+    pub lost_s: f64,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:.1}s {} [{}] lost={:.1}s",
+            self.at_s,
+            self.kind.label(),
+            self.site,
+            self.lost_s
+        )
+    }
+}
+
+/// Delivers a [`FaultPlan`] to polling sites and logs what fired.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    pending: Vec<ScheduledFault>,
+    fired: Vec<FaultEvent>,
+    clock_s: f64,
+}
+
+impl FaultInjector {
+    /// An injector with nothing to deliver (the fault-free path).
+    pub fn none() -> FaultInjector {
+        FaultPlan::none().injector()
+    }
+
+    /// Advance the simulated clock (called by the runner as phases
+    /// complete).
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.clock_s += seconds;
+        }
+    }
+
+    /// The current simulated clock.
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Deliver the next due fault for `site`, if any: the first pending
+    /// fault (in plan order) mapped to the site whose `not_before_s` has
+    /// passed. The fault is consumed and logged.
+    pub fn poll(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|f| f.kind.site() == site && f.not_before_s <= self.clock_s)?;
+        let fault = self.pending.remove(idx);
+        self.fired.push(FaultEvent {
+            site,
+            kind: fault.kind,
+            at_s: self.clock_s,
+            lost_s: 0.0,
+        });
+        Some(fault.kind)
+    }
+
+    /// Whether any fault is still pending for `site` (due now or later).
+    pub fn has_pending(&self, site: FaultSite) -> bool {
+        self.pending.iter().any(|f| f.kind.site() == site)
+    }
+
+    /// Attribute `seconds` of simulated loss to the most recently fired
+    /// fault. No-op when nothing fired yet.
+    pub fn charge(&mut self, seconds: f64) {
+        if let Some(last) = self.fired.last_mut() {
+            if seconds.is_finite() && seconds > 0.0 {
+                last.lost_s += seconds;
+            }
+        }
+    }
+
+    /// Everything that fired so far, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.fired
+    }
+
+    /// Total simulated seconds charged to fired faults.
+    pub fn total_lost_seconds(&self) -> f64 {
+        self.fired.iter().map(|e| e.lost_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::none();
+        for site in [
+            FaultSite::MsaAbort,
+            FaultSite::MsaCompute,
+            FaultSite::Storage,
+            FaultSite::GpuInit,
+            FaultSite::XlaCompile,
+        ] {
+            assert_eq!(inj.poll(site), None);
+            assert!(!inj.has_pending(site));
+        }
+        assert!(inj.events().is_empty());
+        assert_eq!(inj.total_lost_seconds(), 0.0);
+    }
+
+    #[test]
+    fn faults_deliver_at_their_site_in_plan_order() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::StorageReadError)
+            .with(FaultKind::GpuInitFailure)
+            .with(FaultKind::StorageStall { stall_seconds: 3.0 });
+        let mut inj = plan.injector();
+        assert_eq!(
+            inj.poll(FaultSite::Storage),
+            Some(FaultKind::StorageReadError)
+        );
+        assert_eq!(
+            inj.poll(FaultSite::Storage),
+            Some(FaultKind::StorageStall { stall_seconds: 3.0 })
+        );
+        assert_eq!(inj.poll(FaultSite::Storage), None);
+        assert_eq!(
+            inj.poll(FaultSite::GpuInit),
+            Some(FaultKind::GpuInitFailure)
+        );
+        assert_eq!(inj.events().len(), 3);
+    }
+
+    #[test]
+    fn scheduled_faults_wait_for_the_simulated_clock() {
+        let plan = FaultPlan::none().with_at(FaultKind::GpuInitFailure, 100.0);
+        let mut inj = plan.injector();
+        assert_eq!(inj.poll(FaultSite::GpuInit), None);
+        assert!(inj.has_pending(FaultSite::GpuInit));
+        inj.advance(99.0);
+        assert_eq!(inj.poll(FaultSite::GpuInit), None);
+        inj.advance(1.0);
+        assert_eq!(
+            inj.poll(FaultSite::GpuInit),
+            Some(FaultKind::GpuInitFailure)
+        );
+    }
+
+    #[test]
+    fn charge_attributes_loss_to_last_event() {
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::StorageStall { stall_seconds: 5.0 })
+            .injector();
+        inj.charge(100.0); // nothing fired: no-op
+        assert_eq!(inj.total_lost_seconds(), 0.0);
+        inj.poll(FaultSite::Storage).unwrap();
+        inj.charge(5.0);
+        inj.charge(2.5);
+        assert_eq!(inj.total_lost_seconds(), 7.5);
+        assert_eq!(inj.events()[0].lost_s, 7.5);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_vary_by_seed() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.faults().len() <= 4);
+        let distinct = (0..20u64)
+            .map(FaultPlan::seeded)
+            .collect::<Vec<_>>()
+            .windows(2)
+            .any(|w| w[0] != w[1]);
+        assert!(distinct, "different seeds should produce different plans");
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::OomKill { at_fraction: 0.5 })
+            .injector();
+        inj.advance(12.0);
+        inj.poll(FaultSite::MsaAbort).unwrap();
+        inj.charge(6.0);
+        assert_eq!(
+            inj.events()[0].to_string(),
+            "t=12.0s oom-kill [msa-abort] lost=6.0s"
+        );
+    }
+}

@@ -328,6 +328,16 @@ impl From<Vec<Json>> for Json {
         Json::Arr(v)
     }
 }
+impl<T: Into<Json>> From<Option<T>> for Json {
+    /// `None` maps to `null` — the JSON-representable stand-in for
+    /// absent measurements (JSON has no NaN literal).
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(v) => v.into(),
+            None => Json::Null,
+        }
+    }
+}
 
 /// Ordered-field object builder: `obj().field("a", 1u64).build()`.
 #[derive(Debug, Default)]

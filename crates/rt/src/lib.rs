@@ -16,6 +16,9 @@
 //!   failure-seed reporting) replacing `proptest`.
 //! - [`bench`] — a wall-clock micro-benchmark harness with warmup and
 //!   median reporting replacing `criterion`.
+//! - [`fault`] — a seeded, simulated-time fault-injection layer
+//!   ([`fault::FaultPlan`]/[`fault::FaultInjector`]) the pipeline's
+//!   resilience machinery is tested against.
 //!
 //! The suite-wide policy is **zero external registry dependencies**: if a
 //! capability is needed, it is implemented here or in the crate that needs
@@ -23,8 +26,10 @@
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod json;
 pub mod rng;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::{Rng, WeightedIndex};

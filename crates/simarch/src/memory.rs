@@ -100,6 +100,15 @@ impl CapacityModel {
         self
     }
 
+    /// Attach `bytes` of additional CXL expansion (the graceful-
+    /// degradation ladder's first rung: rent an expander instead of
+    /// dying). A zero-byte expansion is a no-op.
+    pub fn with_extra_cxl(mut self, bytes: u64) -> CapacityModel {
+        self.cxl_bytes += bytes;
+        self.cxl_enabled = self.cxl_enabled || bytes > 0;
+        self
+    }
+
     /// Usable DRAM bytes (after OS reservation).
     pub fn usable_dram(&self) -> u64 {
         self.dram_bytes.saturating_sub(self.reserved_bytes)
@@ -225,6 +234,26 @@ mod tests {
         assert!(!server.clone().without_cxl().admit(p644).completes());
         // >768 GiB (1,335 nt): OOM even with CXL.
         assert!(!server.admit(800 * GIB).completes());
+    }
+
+    #[test]
+    fn extra_cxl_admits_what_stock_capacity_rejects() {
+        let desktop = CapacityModel::new(&PlatformSpec::desktop());
+        let peak = 200 * GIB;
+        assert!(!desktop.admit(peak).completes());
+        let expanded = desktop.clone().with_extra_cxl(256 * GIB);
+        assert!(matches!(
+            expanded.admit(peak),
+            AdmissionOutcome::Fits {
+                tier: MemoryTier::CxlExpanded,
+                ..
+            }
+        ));
+        // Zero-byte expansion changes nothing.
+        assert_eq!(
+            desktop.clone().with_extra_cxl(0).admit(peak),
+            desktop.admit(peak)
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! latency in the same shape `iostat -x` reports.
 
 use crate::config::StorageConfig;
+use afsb_rt::fault::{FaultInjector, FaultKind, FaultSite};
 use std::fmt;
 
 /// One modelled I/O phase: a scan demanding bytes from disk while the CPU
@@ -116,6 +117,28 @@ impl StorageModel {
             wall_seconds: wall,
             io_added_seconds: (wall - phase.compute_seconds).max(0.0),
         }
+    }
+
+    /// Evaluate a phase under fault injection: every due [`FaultSite::
+    /// Storage`] fault is delivered and absorbed into the phase's wall
+    /// time. A transient read error re-reads the scan's cold bytes once
+    /// (the stream position is lost); a stall idles the device for its
+    /// duration. With nothing pending this is exactly [`Self::evaluate`].
+    pub fn evaluate_faulted(&self, phase: IoPhase, injector: &mut FaultInjector) -> IostatSample {
+        let mut sample = self.evaluate(phase);
+        while let Some(kind) = injector.poll(FaultSite::Storage) {
+            let extra = match kind {
+                FaultKind::StorageReadError => {
+                    phase.cold_bytes as f64 / self.peak_bytes_per_sec(phase.sequential)
+                }
+                FaultKind::StorageStall { stall_seconds } => stall_seconds,
+                _ => 0.0,
+            };
+            injector.charge(extra);
+            sample.io_added_seconds += extra;
+            sample.wall_seconds += extra;
+        }
+        sample
     }
 }
 
@@ -231,6 +254,39 @@ mod tests {
         let shared = SeparatedIoPaths::shared(cfg).evaluate_scan(phase);
         let dedicated = SeparatedIoPaths::dedicated(cfg).evaluate_scan(phase);
         assert!(dedicated.wall_seconds < shared.wall_seconds);
+    }
+
+    #[test]
+    fn faulted_evaluate_matches_clean_with_empty_injector() {
+        let phase = IoPhase {
+            cold_bytes: 10 << 30,
+            compute_seconds: 5.0,
+            sequential: true,
+        };
+        let clean = model().evaluate(phase);
+        let faulted = model().evaluate_faulted(phase, &mut FaultInjector::none());
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn storage_faults_add_their_cost_to_wall_time() {
+        use afsb_rt::fault::FaultPlan;
+        let phase = IoPhase {
+            cold_bytes: 10 << 30,
+            compute_seconds: 60.0,
+            sequential: true,
+        };
+        let m = model();
+        let clean = m.evaluate(phase);
+        let mut inj = FaultPlan::none()
+            .with(FaultKind::StorageStall { stall_seconds: 7.0 })
+            .with(FaultKind::StorageReadError)
+            .injector();
+        let s = m.evaluate_faulted(phase, &mut inj);
+        let reread = (10u64 << 30) as f64 / m.peak_bytes_per_sec(true);
+        assert!((s.wall_seconds - clean.wall_seconds - 7.0 - reread).abs() < 1e-9);
+        assert!((inj.total_lost_seconds() - 7.0 - reread).abs() < 1e-9);
+        assert_eq!(inj.events().len(), 2);
     }
 
     #[test]

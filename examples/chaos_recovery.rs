@@ -1,0 +1,81 @@
+//! Chaos recovery: run the pipeline under an adversarial fault plan and
+//! watch the resilient executor absorb it.
+//!
+//! ```text
+//! cargo run --release --example chaos_recovery
+//! ```
+//!
+//! The plan kills the MSA phase mid-flight (the paper's §III-C OOM-kill
+//! failure mode, here recovered from a checkpoint), stalls the storage
+//! device, and fails GPU initialization once. Every fault is charged in
+//! simulated seconds and the whole run is deterministic: re-running this
+//! example prints byte-identical output.
+
+use afsysbench::core::context::{BenchContext, ContextConfig};
+use afsysbench::core::msa_phase::MsaPhaseOptions;
+use afsysbench::core::pipeline::{run_pipeline, PipelineOptions};
+use afsysbench::core::report;
+use afsysbench::core::resilience::{run_resilient, ResilienceOptions};
+use afsysbench::core::MemoryEstimator;
+use afsysbench::model::ModelConfig;
+use afsysbench::rt::fault::{FaultKind, FaultPlan};
+use afsysbench::seq::samples::{self, SampleId};
+use afsysbench::simarch::Platform;
+
+fn main() {
+    println!("building databases and running the search engine for 7RCE…");
+    let mut ctx = BenchContext::new(ContextConfig::bench());
+    let data = ctx.sample_data(SampleId::S7rce);
+
+    let options = PipelineOptions {
+        msa: MsaPhaseOptions::default(),
+        model: Some(ModelConfig::paper()),
+        seed: 1,
+    };
+    let baseline = run_pipeline(&data, Platform::Server, 4, &options);
+    println!(
+        "fault-free baseline: {} end-to-end\n",
+        report::fmt_seconds(baseline.total_seconds())
+    );
+
+    // An adversarial day in production: the job is OOM-killed 60 % of
+    // the way through the MSA, the NVMe device stalls for 20 s, and the
+    // GPU driver fails to initialize once.
+    let plan = FaultPlan::none()
+        .with(FaultKind::OomKill { at_fraction: 0.6 })
+        .with(FaultKind::StorageStall {
+            stall_seconds: 20.0,
+        })
+        .with(FaultKind::GpuInitFailure);
+    println!("injecting {} faults…", plan.faults().len());
+
+    let r = run_resilient(
+        &data,
+        Platform::Server,
+        4,
+        &options,
+        &ResilienceOptions::default(),
+        &plan,
+    );
+    for event in &r.fault_events {
+        println!("  fault: {event}");
+    }
+    println!(
+        "\noutcome {} after {} retries, {} lost to recovery ({:.1}% overhead vs baseline):",
+        r.outcome,
+        r.retries,
+        report::fmt_seconds(r.recovery_seconds),
+        (r.wall_seconds / baseline.total_seconds() - 1.0) * 100.0,
+    );
+    println!("{}", report::resilience_table(std::slice::from_ref(&r)));
+
+    // Graceful degradation: a 1,335-nt RNA exceeds the server's stock
+    // memory. The §VI estimator flags it pre-flight and the executor
+    // attaches a CXL expansion instead of burning hours toward an OOM.
+    let probe = samples::rna_memory_probe(1335);
+    println!("pre-flight for a 1,335-nt RNA on the server:");
+    print!(
+        "{}",
+        MemoryEstimator::new(8).preflight(&probe, Platform::Server)
+    );
+}
