@@ -26,4 +26,17 @@ for seed in 101 202 303; do
     run env AFSB_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
 done
 
+# Trace determinism gate: the traced pipeline example must emit
+# byte-identical Chrome-trace and flamegraph artifacts across two runs
+# of the same seed. The example itself re-parses the exported trace
+# with rt::json before writing it, so a cmp failure means
+# nondeterminism, not malformed JSON.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+mkdir -p "$trace_dir/a" "$trace_dir/b"
+run cargo run --release --offline --example trace_pipeline -- "$trace_dir/a"
+run cargo run --release --offline --example trace_pipeline -- "$trace_dir/b"
+run cmp "$trace_dir/a/trace.json" "$trace_dir/b/trace.json"
+run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
+
 echo "==> tier-1 gate passed"

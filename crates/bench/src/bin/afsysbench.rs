@@ -4,6 +4,12 @@
 //! afsysbench <experiment> [--quick] [--out DIR]
 //! afsysbench all [--quick] [--out DIR]
 //! ```
+//!
+//! The `trace` experiment runs one resilient pipeline with the
+//! `rt::obs` tracer attached and writes `trace.json` (Chrome
+//! trace-event JSON for Perfetto / `chrome://tracing`) plus a
+//! `.flame.txt` collapsed-stack sibling; `AFSB_TRACE=<path>` overrides
+//! the trace path. Fixed seed, byte-identical artifacts on every run.
 
 use afsb_bench::Harness;
 use std::fs;
@@ -28,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-storage",
     "estimator",
     "recommend",
+    "trace",
 ];
 
 fn usage() -> ! {
@@ -60,6 +67,20 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "ablation-storage" => harness.ablation_storage(),
         "estimator" => harness.estimator(),
         "recommend" => harness.recommend(),
+        "trace" => {
+            let (mut text, trace, flame) = harness.trace(17);
+            let trace_path = PathBuf::from(
+                std::env::var("AFSB_TRACE").unwrap_or_else(|_| "trace.json".to_owned()),
+            );
+            let flame_path = trace_path.with_extension("flame.txt");
+            for (path, content) in [(&trace_path, &trace), (&flame_path, &flame)] {
+                match fs::write(path, content) {
+                    Ok(()) => text.push_str(&format!("\nwrote {}", path.display())),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
+            text
+        }
         _ => return None,
     };
     Some(out)

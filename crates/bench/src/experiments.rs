@@ -606,4 +606,42 @@ impl Harness {
         }
         ascii_table(&["Sample", "Server best T", "Desktop best T"], &rows)
     }
+
+    /// `trace` mode: one Server-platform resilient run under a seeded
+    /// fault plan with the `rt::obs` tracer attached. Returns the
+    /// rendered report (ASCII span tree + metrics registry) plus the two
+    /// exportable artifacts: Chrome trace-event JSON and collapsed
+    /// flamegraph stacks. Fully deterministic for a fixed `seed`.
+    pub fn trace(&mut self, seed: u64) -> (String, String, String) {
+        use std::fmt::Write;
+        let data = self.ctx.sample_data(SampleId::S7rce);
+        let options = PipelineOptions {
+            seed,
+            ..self.pipeline_options()
+        };
+        let mut obs = afsb_rt::ObsSession::new();
+        let result = afsb_core::resilience::run_resilient_traced(
+            &data,
+            Platform::Server,
+            4,
+            &options,
+            &afsb_core::resilience::ResilienceOptions::default(),
+            &afsb_rt::FaultPlan::seeded(seed),
+            &mut obs,
+        );
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "traced {} on Server (seed {seed}): outcome {} after {} retries, {} faults fired, {:.1}s simulated wall\n",
+            result.sample,
+            result.outcome,
+            result.retries,
+            result.fault_events.len(),
+            result.wall_seconds
+        );
+        text.push_str(&obs.tracer.ascii_tree());
+        text.push('\n');
+        text.push_str(&obs.metrics.render_text());
+        (text, obs.chrome_trace_text(), obs.tracer.flamegraph())
+    }
 }

@@ -23,6 +23,10 @@
 //!   ladder driven by the estimator's pre-flight verdict,
 //! - [`runner`]: thread sweeps, repeat handling and the adaptive
 //!   thread-count recommendation,
+//! - [`trace`]: the observability adapters — every phase recorded into
+//!   an [`afsb_rt::ObsSession`] as deterministic simulated-clock spans
+//!   with paper-symbol attribution, exportable as a Chrome trace,
+//!   flamegraph or ASCII tree,
 //! - [`report`]: paper-shaped table/figure renderers (ASCII + CSV),
 //! - [`calib`]: every tunable constant, with provenance notes.
 
@@ -37,11 +41,13 @@ pub mod report;
 pub mod resilience;
 pub mod results;
 pub mod runner;
+pub mod trace;
 
 pub use context::BenchContext;
 pub use estimator::MemoryEstimator;
 pub use pipeline::{run_pipeline, PipelineResult};
 pub use resilience::{
-    run_resilient, CircuitBreaker, Deadline, DegradeStep, ResilienceOptions, ResilientResult,
-    RetryPolicy, RunOutcome,
+    run_resilient, run_resilient_traced, CircuitBreaker, Deadline, DegradeStep, ResilienceOptions,
+    ResilientResult, RetryPolicy, RunOutcome,
 };
+pub use trace::{record_pipeline, run_pipeline_traced};

@@ -46,12 +46,35 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Render CSV with a header row.
+/// Quote one CSV field per RFC 4180: fields containing a comma, double
+/// quote, CR or LF are wrapped in double quotes with embedded quotes
+/// doubled; everything else passes through unchanged.
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut quoted = String::with_capacity(field.len() + 2);
+        quoted.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                quoted.push('"');
+            }
+            quoted.push(c);
+        }
+        quoted.push('"');
+        quoted
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Render CSV with a header row, RFC-4180 quoting any field that needs
+/// it (sample names with commas, degrade-step labels, …).
 pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = headers.join(",");
+    let render_row =
+        |cells: &mut dyn Iterator<Item = &str>| cells.map(csv_field).collect::<Vec<_>>().join(",");
+    let mut out = render_row(&mut headers.iter().copied());
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(&render_row(&mut row.iter().map(String::as_str)));
         out.push('\n');
     }
     out
@@ -303,6 +326,23 @@ mod tests {
     fn csv_shape() {
         let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_fields_per_rfc_4180() {
+        let c = csv(
+            &["name", "note"],
+            &[
+                vec!["plain".into(), "a,b".into()],
+                vec!["say \"hi\"".into(), "two\nlines".into()],
+            ],
+        );
+        assert_eq!(
+            c,
+            "name,note\nplain,\"a,b\"\n\"say \"\"hi\"\"\",\"two\nlines\"\n"
+        );
+        // A quoted header is escaped too.
+        assert_eq!(csv(&["a,b"], &[]), "\"a,b\"\n");
     }
 
     #[test]

@@ -30,7 +30,9 @@ use crate::msa_phase::{self, MsaPhaseResult};
 use crate::pipeline::{PipelineOptions, PipelineResult};
 use afsb_model::ModelConfig;
 use afsb_rt::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
+use afsb_rt::obs::ObsSession;
 use afsb_rt::rng::{mix, Rng};
+use afsb_rt::Json;
 use afsb_simarch::memory::CapacityModel;
 use afsb_simarch::Platform;
 use std::fmt;
@@ -297,6 +299,37 @@ fn abort_fraction(kind: FaultKind) -> f64 {
     }
 }
 
+/// Record an instant event when a session is attached (the traced
+/// executor's narration points: retries, deadline kills, breaker
+/// transitions, checkpoint restores).
+fn note(obs: &mut Option<&mut ObsSession>, at_s: f64, name: &str, attrs: &[(&str, Json)]) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.tracer.instant_at(at_s, name);
+        for (k, v) in attrs {
+            o.tracer.instant_attr(*k, v.clone());
+        }
+    }
+}
+
+/// Record one retry: the instant plus a `backoff` span covering the
+/// charged wait.
+fn note_retry(
+    obs: &mut Option<&mut ObsSession>,
+    at_s: f64,
+    phase: &str,
+    attempt: u64,
+    backoff_s: f64,
+) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.tracer.instant_at(at_s, "retry");
+        o.tracer.instant_attr("phase", phase);
+        o.tracer.instant_attr("attempt", attempt);
+        o.tracer.instant_attr("backoff_seconds", backoff_s);
+        o.tracer.closed_span("backoff", at_s, backoff_s);
+        o.metrics.inc("resilience.retries", 1);
+    }
+}
+
 /// Execute the pipeline under a fault plan with retries, deadlines,
 /// checkpointing and graceful degradation.
 ///
@@ -314,6 +347,82 @@ pub fn run_resilient(
     pipeline_options: &PipelineOptions,
     options: &ResilienceOptions,
     plan: &FaultPlan,
+) -> ResilientResult {
+    run_resilient_impl(
+        data,
+        platform,
+        threads,
+        pipeline_options,
+        options,
+        plan,
+        None,
+    )
+}
+
+/// [`run_resilient`] with the run recorded into an [`ObsSession`]: a
+/// `resilient_run` root span holding every attempt span, phase trace and
+/// backoff window, plus one instant event per injected fault
+/// (`fault:<kind>` at its simulated firing time), retry, checkpoint
+/// restore, circuit-breaker transition, deadline kill and degradation
+/// rung. Identical accounting to the untraced executor — the returned
+/// result is byte-for-byte the same.
+pub fn run_resilient_traced(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    pipeline_options: &PipelineOptions,
+    options: &ResilienceOptions,
+    plan: &FaultPlan,
+    obs: &mut ObsSession,
+) -> ResilientResult {
+    obs.tracer.begin("resilient_run");
+    obs.tracer.attr("sample", data.sample.id.name());
+    obs.tracer.attr("platform", platform.to_string());
+    obs.tracer.attr("threads", threads as u64);
+    obs.tracer.attr("seed", pipeline_options.seed);
+    let result = run_resilient_impl(
+        data,
+        platform,
+        threads,
+        pipeline_options,
+        options,
+        plan,
+        Some(obs),
+    );
+    // The injector's event log is the authoritative fault record — one
+    // instant per fired fault, stamped at its simulated firing time.
+    for step in &result.degrade_steps {
+        obs.tracer.instant_at(0.0, format!("degrade:{step}"));
+        obs.metrics.inc("resilience.degrade_rungs", 1);
+    }
+    for e in &result.fault_events {
+        obs.tracer
+            .instant_at(e.at_s, format!("fault:{}", e.kind.label()));
+        obs.tracer.instant_attr("site", e.site.to_string());
+        obs.tracer.instant_attr("lost_seconds", e.lost_s);
+        obs.metrics
+            .inc(&format!("resilience.faults.{}", e.kind.label()), 1);
+    }
+    obs.tracer.set_clock(result.wall_seconds);
+    obs.tracer.instant(format!("outcome:{}", result.outcome));
+    obs.metrics
+        .inc(&format!("resilience.outcome.{}", result.outcome), 1);
+    obs.metrics
+        .set_gauge("resilience.wall_seconds", result.wall_seconds);
+    obs.metrics
+        .set_gauge("resilience.recovery_seconds", result.recovery_seconds);
+    obs.tracer.end_all();
+    result
+}
+
+fn run_resilient_impl(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    pipeline_options: &PipelineOptions,
+    options: &ResilienceOptions,
+    plan: &FaultPlan,
+    mut obs: Option<&mut ObsSession>,
 ) -> ResilientResult {
     assert!(threads > 0, "need at least one thread");
     let mut injector = plan.injector();
@@ -389,6 +498,7 @@ pub fn run_resilient(
         .sum::<usize>()
         .max(1) as f64;
     let mut breaker = CircuitBreaker::new(options.breaker_threshold);
+    let mut breaker_tripped = false;
     let msa_deadline = Deadline::new(options.msa_deadline_s);
     let mut progress = 0.0f64;
     let mut msa_spent = 0.0f64;
@@ -400,6 +510,12 @@ pub fn run_resilient(
             if !clean.outcome.finished() {
                 // Genuine OOM: the kill is moot, the admission check
                 // already rejects the job.
+                note(
+                    &mut obs,
+                    wall_seconds,
+                    "admission-reject",
+                    &[("phase", "msa".into())],
+                );
                 return fail(
                     RunOutcome::Oom,
                     retries,
@@ -419,11 +535,27 @@ pub fn run_resilient(
             };
             let wasted = (kill_at - durable) * full;
             injector.charge(wasted);
+            if let Some(o) = obs.as_deref_mut() {
+                let id = o
+                    .tracer
+                    .closed_span("msa_attempt_aborted", wall_seconds, spent_this);
+                o.tracer.span_attr(id, "fault", kind.label());
+                o.tracer.span_attr(id, "kill_fraction", kill_at);
+                o.tracer.span_attr(id, "durable_fraction", durable);
+                o.tracer.span_attr(id, "wasted_seconds", wasted);
+            }
             retries += 1;
             msa_spent += spent_this;
             wall_seconds += spent_this;
             let open = breaker.record_failure();
+            breaker_tripped = true;
             if open || retries > options.retry.max_retries as u64 {
+                let name = if open {
+                    "circuit-open"
+                } else {
+                    "retry-budget-exhausted"
+                };
+                note(&mut obs, wall_seconds, name, &[("phase", "msa".into())]);
                 return fail(
                     RunOutcome::Failed,
                     retries,
@@ -434,12 +566,30 @@ pub fn run_resilient(
                 );
             }
             let backoff = options.retry.backoff_seconds(retries as u32, seed);
+            note_retry(&mut obs, wall_seconds, "msa", retries, backoff);
             recovery_seconds += wasted + backoff;
             msa_spent += backoff;
             wall_seconds += backoff;
             injector.advance(spent_this + backoff);
             progress = durable;
+            if options.checkpointing && progress > 0.0 {
+                note(
+                    &mut obs,
+                    wall_seconds,
+                    "checkpoint-restore",
+                    &[("durable_fraction", progress.into())],
+                );
+                if let Some(o) = obs.as_deref_mut() {
+                    o.metrics.inc("resilience.checkpoint_restores", 1);
+                }
+            }
             if msa_deadline.exceeded(msa_spent) {
+                note(
+                    &mut obs,
+                    wall_seconds,
+                    "deadline-exceeded",
+                    &[("phase", "msa".into())],
+                );
                 return fail(
                     RunOutcome::Failed,
                     retries,
@@ -457,6 +607,12 @@ pub fn run_resilient(
         let r =
             msa_phase::run_msa_phase_faulted(data, platform, eff_threads, &msa_opts, &mut injector);
         if !r.outcome.finished() {
+            note(
+                &mut obs,
+                wall_seconds,
+                "admission-reject",
+                &[("phase", "msa".into())],
+            );
             return fail(
                 RunOutcome::Oom,
                 retries,
@@ -467,11 +623,25 @@ pub fn run_resilient(
             );
         }
         breaker.record_success();
+        if breaker_tripped {
+            note(&mut obs, wall_seconds, "circuit-closed", &[]);
+            breaker_tripped = false;
+        }
         let attempt = (1.0 - progress) * r.wall_seconds();
+        if let Some(o) = obs.as_deref_mut() {
+            o.tracer.set_clock(wall_seconds);
+            crate::trace::record_msa_phase_window(data, &r, o, attempt);
+        }
         msa_spent += attempt;
         wall_seconds += attempt;
         injector.advance(attempt);
         if msa_deadline.exceeded(msa_spent) {
+            note(
+                &mut obs,
+                wall_seconds,
+                "deadline-exceeded",
+                &[("phase", "msa".into())],
+            );
             return fail(
                 RunOutcome::Failed,
                 retries,
@@ -501,10 +671,31 @@ pub fn run_resilient(
             &mut injector,
         ) {
             Err(fault) => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let id = o.tracer.closed_span(
+                        "inference_attempt_failed",
+                        wall_seconds,
+                        fault.wasted_seconds,
+                    );
+                    o.tracer
+                        .span_attr(id, "wasted_seconds", fault.wasted_seconds);
+                }
                 retries += 1;
                 wall_seconds += fault.wasted_seconds;
                 let open = breaker.record_failure();
+                breaker_tripped = true;
                 if open || retries > options.retry.max_retries as u64 {
+                    let name = if open {
+                        "circuit-open"
+                    } else {
+                        "retry-budget-exhausted"
+                    };
+                    note(
+                        &mut obs,
+                        wall_seconds,
+                        name,
+                        &[("phase", "inference".into())],
+                    );
                     return fail(
                         RunOutcome::Failed,
                         retries,
@@ -515,6 +706,7 @@ pub fn run_resilient(
                     );
                 }
                 let backoff = options.retry.backoff_seconds(retries as u32, seed);
+                note_retry(&mut obs, wall_seconds, "inference", retries, backoff);
                 recovery_seconds += fault.wasted_seconds + backoff;
                 wall_seconds += backoff;
                 injector.advance(fault.wasted_seconds + backoff);
@@ -529,10 +721,34 @@ pub fn run_resilient(
                     let limit = inference_deadline
                         .limit_seconds()
                         .expect("exceeded implies a limit");
+                    if let Some(o) = obs.as_deref_mut() {
+                        let id =
+                            o.tracer
+                                .closed_span("inference_attempt_timeout", wall_seconds, limit);
+                        o.tracer.span_attr(id, "limit_seconds", limit);
+                    }
+                    note(
+                        &mut obs,
+                        wall_seconds + limit,
+                        "deadline-exceeded",
+                        &[("phase", "inference".into())],
+                    );
                     retries += 1;
                     wall_seconds += limit;
                     let open = breaker.record_failure();
+                    breaker_tripped = true;
                     if open || retries > options.retry.max_retries as u64 {
+                        let name = if open {
+                            "circuit-open"
+                        } else {
+                            "retry-budget-exhausted"
+                        };
+                        note(
+                            &mut obs,
+                            wall_seconds,
+                            name,
+                            &[("phase", "inference".into())],
+                        );
                         return fail(
                             RunOutcome::Failed,
                             retries,
@@ -543,12 +759,20 @@ pub fn run_resilient(
                         );
                     }
                     let backoff = options.retry.backoff_seconds(retries as u32, seed);
+                    note_retry(&mut obs, wall_seconds, "inference", retries, backoff);
                     recovery_seconds += limit + backoff;
                     wall_seconds += backoff;
                     injector.advance(limit + backoff);
                     continue;
                 }
                 breaker.record_success();
+                if breaker_tripped {
+                    note(&mut obs, wall_seconds, "circuit-closed", &[]);
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.tracer.set_clock(wall_seconds);
+                    crate::trace::record_inference_phase(&r, o);
+                }
                 wall_seconds += t;
                 injector.advance(t);
                 break r;

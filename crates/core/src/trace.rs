@@ -1,0 +1,315 @@
+//! Pipeline-level observability: lays the simulated run's phase
+//! structure into an [`ObsSession`] — spans on the *simulated* clock,
+//! metrics under the paper's symbol names — so a fixed seed produces a
+//! byte-identical Chrome trace / flamegraph every time.
+//!
+//! Span layout (stack order in the flamegraph):
+//!
+//! ```text
+//! pipeline
+//! ├─ msa_phase
+//! │  ├─ hmmer_scan          → chain:db spans → DP-stage symbols
+//! │  │                        (calc_band_9, calc_band_10, …)
+//! │  ├─ storage_io
+//! │  └─ thread_overhead
+//! └─ inference_phase
+//!    ├─ init
+//!    ├─ xla_compile         → host-sim symbols (_M_fill_insert,
+//!    │                        ShapeUtil::ByteSizeOf, copy_to_iter, …)
+//!    ├─ gpu_compute         → per-kernel-label children
+//!    └─ finalize
+//! ```
+//!
+//! Everything is recorded after the fact from the phase results; the
+//! tracer's clock is advanced to match the simulated wall time, so
+//! nested runs (the resilient executor's attempts) compose naturally.
+
+use crate::context::SampleSearchData;
+use crate::inference_phase::InferencePhaseResult;
+use crate::msa_phase::MsaPhaseResult;
+use crate::pipeline::{run_pipeline, PipelineOptions, PipelineResult};
+use afsb_rt::obs::ObsSession;
+use afsb_simarch::Platform;
+
+/// The host-phase thread-contention multiplier used by
+/// [`InferencePhaseResult::wall_seconds`]; the traced timeline must
+/// stretch the host phases by the same factor or the spans stop tiling
+/// the phase span.
+fn host_contention(threads: usize) -> f64 {
+    1.0 + 0.02 * (threads.saturating_sub(1)) as f64
+}
+
+/// Record a completed MSA phase as a span tree starting at the tracer's
+/// current clock, scaled to cover exactly `window_s` simulated seconds
+/// (the resilient executor replays a checkpoint-resumed attempt over the
+/// redone fraction only). Advances the clock to the end of the window
+/// and publishes the phase's counters and gauges.
+pub fn record_msa_phase_window(
+    data: &SampleSearchData,
+    result: &MsaPhaseResult,
+    obs: &mut ObsSession,
+    window_s: f64,
+) {
+    let t0 = obs.tracer.clock_seconds();
+    obs.tracer.begin("msa_phase");
+    for (k, v) in data.sample.trace_attrs() {
+        obs.tracer.attr(k, v);
+    }
+    obs.tracer.attr("threads", result.threads as u64);
+    obs.tracer.attr("msa_depth", data.msa_depth as u64);
+    obs.tracer
+        .attr("peak_memory_bytes", result.peak_memory_bytes);
+
+    if !result.outcome.finished() {
+        // The admission check rejected the job before any work ran: the
+        // phase span is empty except for the kill marker (Fig. 2's OOM).
+        obs.tracer.instant("admission-reject");
+        obs.tracer
+            .instant_attr("peak_memory_bytes", result.peak_memory_bytes);
+        obs.metrics.inc("msa.admission_rejects", 1);
+        obs.tracer.end();
+        return;
+    }
+
+    let wall = result.wall_seconds();
+    let scale = if wall > 0.0 { window_s / wall } else { 0.0 };
+    let cpu = result.cpu_seconds * scale;
+    let io = result.io_added_seconds * scale;
+    let overhead = result.thread_overhead_seconds * scale;
+
+    // hmmer_scan: one span per chain×database search, width proportional
+    // to its paper-scale DP work, tiled with Table IV stage symbols.
+    let scan = obs.tracer.closed_span("hmmer_scan", t0, cpu);
+    let total_cells: u64 = data
+        .chains
+        .iter()
+        .flat_map(|c| &c.per_db)
+        .map(|db| db.paper_counters().total_dp_cells())
+        .sum();
+    let mut at = t0;
+    for chain in &data.chains {
+        for db in &chain.per_db {
+            let counters = db.paper_counters();
+            let cells = counters.total_dp_cells();
+            if cells == 0 {
+                continue;
+            }
+            let width = cpu * cells as f64 / total_cells.max(1) as f64;
+            let id = obs.tracer.child_span(
+                scan,
+                format!("{}:{}", chain.chain_id, db.db_name),
+                at,
+                width,
+            );
+            obs.tracer.span_attr(id, "hits", db.hits as u64);
+            obs.tracer.span_attr(id, "msa_rows", db.msa_rows as u64);
+            counters.trace_stages_under(&mut obs.tracer, id, at, width);
+            at += width;
+        }
+    }
+
+    let io_span = obs.tracer.closed_span("storage_io", t0 + cpu, io);
+    obs.tracer
+        .span_attr(io_span, "cold_bytes", result.cold_bytes);
+    obs.tracer
+        .span_attr(io_span, "read_mibs", result.iostat.read_mibs);
+    obs.tracer
+        .span_attr(io_span, "util_pct", result.iostat.util_pct);
+    obs.tracer
+        .span_attr(io_span, "r_await_ms", result.iostat.r_await_ms);
+    obs.tracer
+        .closed_span("thread_overhead", t0 + cpu + io, overhead);
+
+    obs.tracer.set_clock(t0 + cpu + io + overhead);
+    obs.tracer.end();
+
+    data.total_paper_counters()
+        .publish_metrics(&mut obs.metrics, "msa.hmmer");
+    result.sim.publish_metrics(&mut obs.metrics, "msa.sim");
+    obs.metrics.inc("msa.cold_bytes", result.cold_bytes);
+    obs.metrics.set_gauge("msa.wall_seconds", wall);
+    obs.metrics.set_gauge("msa.cpu_seconds", result.cpu_seconds);
+    obs.metrics
+        .set_gauge("msa.io_added_seconds", result.io_added_seconds);
+    obs.metrics.set_gauge(
+        "msa.thread_overhead_seconds",
+        result.thread_overhead_seconds,
+    );
+    obs.metrics
+        .set_gauge("msa.peak_memory_bytes", result.peak_memory_bytes as f64);
+    obs.metrics
+        .set_gauge("msa.iostat.aqu_sz", result.iostat.aqu_sz);
+}
+
+/// [`record_msa_phase_window`] over the phase's own wall time.
+pub fn record_msa_phase(data: &SampleSearchData, result: &MsaPhaseResult, obs: &mut ObsSession) {
+    record_msa_phase_window(data, result, obs, result.wall_seconds());
+}
+
+/// Record a completed inference phase at the tracer's current clock:
+/// the Fig. 8 lifecycle timeline (host phases stretched by the same
+/// contention factor the wall-time model charges), Table V host-symbol
+/// attribution under `xla_compile`, per-kernel children under
+/// `gpu_compute`. Advances the clock past the phase and publishes the
+/// breakdown, host-sim and kernel metrics.
+pub fn record_inference_phase(result: &InferencePhaseResult, obs: &mut ObsSession) {
+    let t0 = obs.tracer.clock_seconds();
+    obs.tracer.begin("inference_phase");
+    obs.tracer.attr("threads", result.threads as u64);
+    obs.tracer.attr("n_tokens", result.model.n_tokens() as u64);
+    obs.tracer.attr("msa_depth", result.model.msa_depth as u64);
+
+    let traced = result
+        .breakdown
+        .record_into(&mut obs.tracer, t0, host_contention(result.threads));
+    if let Some(xla) = obs.tracer.last_span_named("xla_compile") {
+        let start = obs.tracer.span_start_seconds(xla);
+        let dur = obs.tracer.span_seconds(xla);
+        result
+            .host_sim
+            .trace_symbols_under(&mut obs.tracer, xla, start, dur);
+    }
+
+    obs.tracer.set_clock(t0 + traced);
+    obs.tracer.end();
+
+    result
+        .breakdown
+        .publish_metrics(&mut obs.metrics, "inference");
+    result
+        .host_sim
+        .publish_metrics(&mut obs.metrics, "inference.host_sim");
+    result
+        .model
+        .cost_log
+        .publish_metrics(&mut obs.metrics, "inference.kernels");
+    obs.metrics
+        .set_gauge("inference.wall_seconds", result.wall_seconds());
+    obs.metrics.set_gauge(
+        "inference.working_set_bytes",
+        result.model.working_set_bytes as f64,
+    );
+}
+
+/// Record a finished end-to-end run under one `pipeline` root span.
+/// An MSA that never ran (admission reject) records no inference phase:
+/// the paper's pipeline dies before the GPU stage.
+pub fn record_pipeline(data: &SampleSearchData, result: &PipelineResult, obs: &mut ObsSession) {
+    obs.tracer.begin("pipeline");
+    obs.tracer.attr("sample", result.sample.as_str());
+    obs.tracer.attr("platform", result.platform.to_string());
+    obs.tracer.attr("threads", result.threads as u64);
+    record_msa_phase(data, &result.msa, obs);
+    if result.msa.outcome.finished() {
+        record_inference_phase(&result.inference, obs);
+    }
+    obs.metrics
+        .inc(&format!("pipeline.outcome.{}", result.outcome()), 1);
+    obs.tracer.end();
+}
+
+/// [`run_pipeline`] plus a full trace of the run into `obs`.
+pub fn run_pipeline_traced(
+    data: &SampleSearchData,
+    platform: Platform,
+    threads: usize,
+    options: &PipelineOptions,
+    obs: &mut ObsSession,
+) -> PipelineResult {
+    let result = run_pipeline(data, platform, threads, options);
+    record_pipeline(data, &result, obs);
+    if let Some(id) = obs.tracer.last_span_named("inference_phase") {
+        let model = options.model.unwrap_or_else(afsb_model::ModelConfig::paper);
+        for (k, v) in model.trace_attrs() {
+            obs.tracer.span_attr(id, k, v);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{BenchContext, ContextConfig};
+    use crate::msa_phase::MsaPhaseOptions;
+    use afsb_model::ModelConfig;
+    use afsb_rt::Json;
+    use afsb_seq::samples::SampleId;
+
+    fn options() -> PipelineOptions {
+        PipelineOptions {
+            msa: MsaPhaseOptions {
+                sample_cap: 100_000,
+                ..MsaPhaseOptions::default()
+            },
+            model: Some(ModelConfig::tiny()),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn traced_pipeline_matches_untraced_and_tiles_phases() {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S1yy9);
+        let mut obs = ObsSession::new();
+        let traced = run_pipeline_traced(&data, Platform::Server, 4, &options(), &mut obs);
+        let plain = run_pipeline(&data, Platform::Server, 4, &options());
+        assert_eq!(traced.total_seconds(), plain.total_seconds());
+
+        // The clock ends at the end-to-end wall time and the tree holds
+        // both phases with paper-symbol leaves.
+        assert!((obs.tracer.clock_seconds() - traced.total_seconds()).abs() < 1e-6);
+        let names = obs.tracer.span_names();
+        for expected in [
+            "pipeline",
+            "msa_phase",
+            "hmmer_scan",
+            "calc_band_9",
+            "storage_io",
+            "inference_phase",
+            "xla_compile",
+            "gpu_compute",
+        ] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        assert_eq!(obs.tracer.open_depth(), 0);
+
+        // Metrics carry the paper symbol names and the phase gauges.
+        assert!(obs.metrics.counter("msa.hmmer.calc_band_9.cells") > 0);
+        assert!(
+            obs.metrics
+                .counter("inference.host_sim._M_fill_insert.cycles")
+                > 0
+        );
+        assert!(obs.metrics.gauge("msa.wall_seconds").unwrap() > 0.0);
+        assert_eq!(obs.metrics.counter("pipeline.outcome.completed"), 1);
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_reparses() {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S1yy9);
+        let render = || {
+            let mut obs = ObsSession::new();
+            run_pipeline_traced(&data, Platform::Desktop, 2, &options(), &mut obs);
+            obs.chrome_trace_text()
+        };
+        let a = render();
+        assert_eq!(a, render(), "same seed must give a byte-identical trace");
+        let parsed = Json::parse(&a).expect("trace must be valid JSON");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn msa_window_scaling_compresses_the_span() {
+        let mut ctx = BenchContext::new(ContextConfig::test());
+        let data = ctx.sample_data(SampleId::S1yy9);
+        let msa = crate::msa_phase::run_msa_phase(&data, Platform::Server, 2, &options().msa);
+        let mut obs = ObsSession::new();
+        record_msa_phase_window(&data, &msa, &mut obs, msa.wall_seconds() * 0.25);
+        assert!(
+            (obs.tracer.clock_seconds() - msa.wall_seconds() * 0.25).abs()
+                < 1e-9 * msa.wall_seconds().max(1.0)
+        );
+    }
+}

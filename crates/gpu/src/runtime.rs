@@ -75,6 +75,56 @@ impl InferenceBreakdown {
     pub fn overhead_share(&self) -> f64 {
         1.0 - self.gpu_compute_s / self.total_s().max(1e-12)
     }
+
+    /// Forward the breakdown into `tracer` as closed spans under the
+    /// innermost open span, starting at `offset_s`. Host-side phases
+    /// (init, xla_compile, finalize) are stretched by `host_scale` — the
+    /// pipeline's thread-contention multiplier hits the single-threaded
+    /// host path, never kernel execution. The `xla_compile` span carries
+    /// the compile report's Table V counters; per-kernel-label children
+    /// are laid under `gpu_compute`. Returns the traced duration.
+    pub fn record_into(&self, tracer: &mut afsb_rt::Tracer, offset_s: f64, host_scale: f64) -> f64 {
+        let mut at = offset_s;
+        for span in self.timeline.spans() {
+            let scale = if span.name == "gpu_compute" {
+                1.0
+            } else {
+                host_scale
+            };
+            let d = span.duration_s * scale;
+            let id = tracer.closed_span(span.name.clone(), at, d);
+            match span.name.as_str() {
+                "xla_compile" => {
+                    for (k, v) in self.compile_report.trace_attrs() {
+                        tracer.span_attr(id, k, v);
+                    }
+                }
+                "gpu_compute" => {
+                    tracer.span_attr(id, "uvm_fraction", self.uvm_fraction);
+                    let mut kernel_at = at;
+                    for (label, &secs) in &self.per_label_s {
+                        tracer.child_span(id, label.clone(), kernel_at, secs);
+                        kernel_at += secs;
+                    }
+                }
+                _ => {}
+            }
+            at += d;
+        }
+        at - offset_s
+    }
+
+    /// Publish the breakdown's gauges and compile counters under
+    /// `<prefix>.*`.
+    pub fn publish_metrics(&self, metrics: &mut afsb_rt::MetricsRegistry, prefix: &str) {
+        metrics.set_gauge(&format!("{prefix}.init_seconds"), self.init_s);
+        metrics.set_gauge(&format!("{prefix}.xla_compile.seconds"), self.xla_compile_s);
+        metrics.set_gauge(&format!("{prefix}.gpu_compute.seconds"), self.gpu_compute_s);
+        metrics.set_gauge(&format!("{prefix}.finalize.seconds"), self.finalize_s);
+        metrics.set_gauge(&format!("{prefix}.uvm_fraction"), self.uvm_fraction);
+        self.compile_report
+            .publish_metrics(metrics, &format!("{prefix}.xla_compile"));
+    }
 }
 
 /// An injected GPU initialization failure: the request died before any
@@ -399,5 +449,33 @@ mod tests {
         let b = desktop_runtime().run_cold(&small_log(), 8 << 30);
         assert!((b.timeline.total_seconds() - b.total_s()).abs() < 1e-9);
         assert_eq!(b.timeline.seconds_of("gpu_compute"), b.gpu_compute_s);
+    }
+
+    #[test]
+    fn record_into_scales_host_phases_and_nests_kernels() {
+        let b = server_runtime().run_cold(&small_log(), 8 << 30);
+        let mut tracer = afsb_rt::Tracer::new();
+        tracer.begin("inference");
+        let traced = b.record_into(&mut tracer, 5.0, 2.0);
+        tracer.advance(5.0 + traced);
+        tracer.end();
+        // Host phases doubled, gpu_compute untouched.
+        let expected = 2.0 * (b.init_s + b.xla_compile_s + b.finalize_s) + b.gpu_compute_s;
+        assert!((traced - expected).abs() < 1e-9);
+        let names = tracer.span_names();
+        assert!(names.contains(&"xla_compile"));
+        assert!(names.contains(&"gpu_compute"));
+        // Each distinct kernel label shows up as a child span.
+        for label in b.per_label_s.keys() {
+            assert!(names.contains(&label.as_str()), "missing kernel {label}");
+        }
+
+        let mut m = afsb_rt::MetricsRegistry::new();
+        b.publish_metrics(&mut m, "inference");
+        assert_eq!(
+            m.gauge("inference.gpu_compute.seconds"),
+            Some(b.gpu_compute_s)
+        );
+        assert!(m.counter("inference.xla_compile.ShapeUtil::ByteSizeOf.calls") > 0);
     }
 }

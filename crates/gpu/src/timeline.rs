@@ -1,6 +1,19 @@
 //! Nsight-Systems-style span timeline.
 
+use afsb_rt::obs::{SpanId, Tracer};
 use std::fmt;
+
+/// Error returned by [`Timeline::try_push`] for invalid durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDuration;
+
+impl fmt::Display for InvalidDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span duration must be a non-negative finite number")
+    }
+}
+
+impl std::error::Error for InvalidDuration {}
 
 /// One named span on the timeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,19 +40,42 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Append a span after the current end.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `duration_s` is negative.
+    /// Append a span after the current end. Negative or non-finite
+    /// durations saturate to a zero-length span instead of panicking —
+    /// cost models fed hostile inputs (fault injection, degraded configs)
+    /// must never take down the run just to record its timeline. Use
+    /// [`Timeline::try_push`] to surface the invalid duration instead.
     pub fn push(&mut self, name: impl Into<String>, duration_s: f64) {
-        assert!(duration_s >= 0.0, "span duration must be non-negative");
+        let duration_s = if duration_s.is_finite() {
+            duration_s.max(0.0)
+        } else {
+            0.0
+        };
         let start_s = self.total_seconds();
         self.spans.push(Span {
             name: name.into(),
             start_s,
             duration_s,
         });
+    }
+
+    /// Append a span after the current end, rejecting negative or
+    /// non-finite durations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDuration`] (recording nothing) when `duration_s`
+    /// is negative, NaN or infinite.
+    pub fn try_push(
+        &mut self,
+        name: impl Into<String>,
+        duration_s: f64,
+    ) -> Result<(), InvalidDuration> {
+        if !duration_s.is_finite() || duration_s < 0.0 {
+            return Err(InvalidDuration);
+        }
+        self.push(name, duration_s);
+        Ok(())
     }
 
     /// All spans in order.
@@ -72,6 +108,24 @@ impl Timeline {
         } else {
             self.seconds_of(name) / total
         }
+    }
+
+    /// Forward every span into `tracer` as a closed child of the
+    /// innermost open span, shifted by `offset_s` and stretched by
+    /// `scale` (host-thread contention inflates the recorded host phases;
+    /// `1.0` replays the timeline verbatim). Returns the created span
+    /// ids, in timeline order.
+    pub fn record_into(&self, tracer: &mut Tracer, offset_s: f64, scale: f64) -> Vec<SpanId> {
+        self.spans
+            .iter()
+            .map(|s| {
+                tracer.closed_span(
+                    s.name.clone(),
+                    offset_s + s.start_s * scale,
+                    s.duration_s * scale,
+                )
+            })
+            .collect()
     }
 }
 
@@ -131,5 +185,50 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("gpu_compute"));
         assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn push_saturates_invalid_durations_instead_of_panicking() {
+        // Regression: `push` used to assert on negative durations, so a
+        // cost model emitting a tiny negative residual aborted the run.
+        let mut t = Timeline::new();
+        t.push("ok", 2.0);
+        t.push("negative", -3.0);
+        t.push("nan", f64::NAN);
+        t.push("after", 1.0);
+        assert_eq!(t.total_seconds(), 3.0);
+        assert_eq!(t.seconds_of("negative"), 0.0);
+        assert_eq!(t.seconds_of("nan"), 0.0);
+        assert_eq!(t.spans()[3].start_s, 2.0);
+    }
+
+    #[test]
+    fn try_push_rejects_invalid_durations() {
+        let mut t = Timeline::new();
+        assert_eq!(t.try_push("bad", -1.0), Err(InvalidDuration));
+        assert_eq!(t.try_push("bad", f64::INFINITY), Err(InvalidDuration));
+        assert!(t.spans().is_empty(), "rejected spans must not be recorded");
+        assert_eq!(t.try_push("good", 4.0), Ok(()));
+        assert_eq!(t.total_seconds(), 4.0);
+        assert!(InvalidDuration.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn record_into_replays_spans_under_the_open_span() {
+        let mut t = Timeline::new();
+        t.push("init", 2.0);
+        t.push("xla_compile", 3.0);
+        let mut tracer = Tracer::new();
+        tracer.begin("inference");
+        let ids = t.record_into(&mut tracer, 10.0, 2.0);
+        tracer.advance(20.0);
+        tracer.end();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(tracer.span_seconds(ids[0]), 4.0); // scaled 2x
+        assert_eq!(tracer.span_seconds(ids[1]), 6.0);
+        assert_eq!(
+            tracer.span_names(),
+            vec!["inference", "init", "xla_compile"]
+        );
     }
 }

@@ -86,6 +86,43 @@ pub struct CompileReport {
     pub metadata_bytes: u64,
 }
 
+impl CompileReport {
+    /// Key/value trace attributes for the `xla_compile` span, under the
+    /// paper's Table V symbol names (`ShapeUtil::ByteSizeOf` shape walks,
+    /// `_M_fill_insert` arena zero-fill).
+    pub fn trace_attrs(&self) -> Vec<(String, afsb_rt::Json)> {
+        vec![
+            ("ops_traced".into(), (self.ops_traced as u64).into()),
+            (
+                "ops_after_fusion".into(),
+                (self.ops_after_fusion as u64).into(),
+            ),
+            (
+                "ShapeUtil::ByteSizeOf.calls".into(),
+                self.byte_size_of_calls.into(),
+            ),
+            ("arena_bytes".into(), self.arena_bytes.into()),
+            ("page_faults".into(), self.page_faults.into()),
+            ("_M_fill_insert.bytes".into(), self.fill_insert_bytes.into()),
+        ]
+    }
+
+    /// Publish the compile counters under `<prefix>.<name>`.
+    pub fn publish_metrics(&self, metrics: &mut afsb_rt::MetricsRegistry, prefix: &str) {
+        metrics.inc(&format!("{prefix}.ops_traced"), self.ops_traced as u64);
+        metrics.inc(
+            &format!("{prefix}.ShapeUtil::ByteSizeOf.calls"),
+            self.byte_size_of_calls,
+        );
+        metrics.inc(&format!("{prefix}.arena_bytes"), self.arena_bytes);
+        metrics.inc(&format!("{prefix}.page_faults"), self.page_faults);
+        metrics.inc(
+            &format!("{prefix}._M_fill_insert.bytes"),
+            self.fill_insert_bytes,
+        );
+    }
+}
+
 /// Tunable compile-cost constants (CPU work per unit).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompileCostModel {

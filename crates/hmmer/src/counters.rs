@@ -96,6 +96,69 @@ impl WorkCounters {
             + self.forward_cells
             + self.traceback_cells
     }
+
+    /// Publish the counters under `<prefix>.<symbol>.<unit>`, using the
+    /// paper's Table IV symbol names where one exists (`calc_band_9`,
+    /// `calc_band_10`, `addbuf`, `seebuf`, `copy_to_iter`) and the
+    /// counter's own name otherwise. The peak goes out as a gauge — peaks
+    /// do not sum across publishes the way monotone counts do.
+    pub fn publish_metrics(&self, metrics: &mut afsb_rt::MetricsRegistry, prefix: &str) {
+        let inc = |m: &mut afsb_rt::MetricsRegistry, name: &str, v: u64| {
+            m.inc(&format!("{prefix}.{name}"), v);
+        };
+        inc(metrics, "db_sequences", self.db_sequences);
+        inc(metrics, "db_residues", self.db_residues);
+        inc(metrics, "ssv_cells", self.ssv_cells);
+        inc(metrics, "msv_cells", self.msv_cells);
+        inc(metrics, "calc_band_9.cells", self.band_cells_mi);
+        inc(metrics, "calc_band_10.cells", self.band_cells_ds);
+        inc(metrics, "forward_cells", self.forward_cells);
+        inc(metrics, "hits", self.hits);
+        inc(metrics, "rescans", self.rescans);
+        inc(metrics, "addbuf.ops", self.buffer_fills);
+        inc(metrics, "seebuf.ops", self.buffer_peeks);
+        inc(metrics, "copy_to_iter.bytes", self.copied_bytes);
+        metrics.set_gauge(
+            &format!("{prefix}.peak_state_bytes"),
+            self.peak_state_bytes as f64,
+        );
+    }
+
+    /// Tile one closed child span per DP stage under `parent` across
+    /// `[start_s, start_s + duration_s)`, widths proportional to each
+    /// stage's cell count and named by the paper's Table IV symbols where
+    /// one exists. Stages with zero cells are skipped. Returns the
+    /// created ids, in stage order.
+    pub fn trace_stages_under(
+        &self,
+        tracer: &mut afsb_rt::Tracer,
+        parent: afsb_rt::obs::SpanId,
+        start_s: f64,
+        duration_s: f64,
+    ) -> Vec<afsb_rt::obs::SpanId> {
+        let stages: [(&str, u64); 6] = [
+            ("ssv_filter", self.ssv_cells),
+            ("msv_filter", self.msv_cells),
+            ("calc_band_9", self.band_cells_mi),
+            ("calc_band_10", self.band_cells_ds),
+            ("forward", self.forward_cells),
+            ("traceback", self.traceback_cells),
+        ];
+        let total = self.total_dp_cells().max(1) as f64;
+        let mut at = start_s;
+        let mut ids = Vec::new();
+        for (name, cells) in stages {
+            if cells == 0 {
+                continue;
+            }
+            let width = duration_s * cells as f64 / total;
+            let id = tracer.child_span(parent, name, at, width);
+            tracer.span_attr(id, "cells", cells);
+            at += width;
+            ids.push(id);
+        }
+        ids
+    }
 }
 
 #[cfg(test)]

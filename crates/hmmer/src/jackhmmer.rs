@@ -63,6 +63,33 @@ pub struct JackhmmerResult {
     pub iterations_run: usize,
 }
 
+impl JackhmmerResult {
+    /// Lay one closed span per executed round under `parent`, packed
+    /// across `[start_s, start_s + duration_s)` with widths proportional
+    /// to each round's DP-cell volume; inside every round the filter
+    /// stages are tiled by [`WorkCounters::trace_stages_under`]. This is
+    /// the tracer's view of the paper's iterative-search structure.
+    pub fn trace_rounds_under(
+        &self,
+        tracer: &mut afsb_rt::Tracer,
+        parent: afsb_rt::obs::SpanId,
+        start_s: f64,
+        duration_s: f64,
+    ) {
+        let total: u64 = self.rounds.iter().map(|r| r.total.total_dp_cells()).sum();
+        let total = total.max(1) as f64;
+        let mut at = start_s;
+        for (i, round) in self.rounds.iter().enumerate() {
+            let width = duration_s * round.total.total_dp_cells() as f64 / total;
+            let id = tracer.child_span(parent, format!("jackhmmer_round_{}", i + 1), at, width);
+            tracer.span_attr(id, "hits", round.hits.len() as u64);
+            tracer.span_attr(id, "threads", round.threads as u64);
+            round.total.trace_stages_under(tracer, id, at, width);
+            at += width;
+        }
+    }
+}
+
 /// Durable per-iteration state of a jackhmmer run: everything a retry
 /// needs to resume from the last *completed* round instead of redoing the
 /// whole search after a mid-run kill. Real AF3 has no such mechanism —
@@ -398,6 +425,27 @@ mod tests {
         assert_eq!(result.iterations_run, clean.iterations_run);
         assert_eq!(result.msa.depth(), clean.msa.depth());
         assert_eq!(inj.events().len(), 2);
+    }
+
+    #[test]
+    fn trace_rounds_tile_the_window_with_stage_children() {
+        let (query, db) = setup();
+        let r = run(&query, &db, &fast_config(2));
+        let mut tracer = afsb_rt::Tracer::new();
+        let root = tracer.begin("msa_search");
+        tracer.advance(50.0);
+        r.trace_rounds_under(&mut tracer, root, 0.0, 50.0);
+        tracer.end();
+        let names = tracer.span_names();
+        assert!(names.contains(&"jackhmmer_round_1"), "{names:?}");
+        assert!(names.contains(&"calc_band_9"), "{names:?}");
+        assert!(names.contains(&"ssv_filter"), "{names:?}");
+
+        let mut m = afsb_rt::MetricsRegistry::new();
+        r.counters.publish_metrics(&mut m, "msa");
+        assert_eq!(m.counter("msa.calc_band_9.cells"), r.counters.band_cells_mi);
+        assert_eq!(m.counter("msa.copy_to_iter.bytes"), r.counters.copied_bytes);
+        assert_eq!(m.counter("msa.addbuf.ops"), r.counters.buffer_fills);
     }
 
     #[test]

@@ -86,6 +86,24 @@ impl ModelConfig {
     pub fn sim_tokens(&self, tokens: usize) -> usize {
         tokens.min(self.sim_max_tokens).max(2)
     }
+
+    /// Key/value trace attributes describing the model shape on an
+    /// inference span.
+    pub fn trace_attrs(&self) -> Vec<(String, afsb_rt::Json)> {
+        vec![
+            ("c_pair".into(), (self.c_pair as u64).into()),
+            ("c_single".into(), (self.c_single as u64).into()),
+            (
+                "pairformer_blocks".into(),
+                (self.pairformer_blocks as u64).into(),
+            ),
+            (
+                "diffusion_steps".into(),
+                (self.diffusion_steps as u64).into(),
+            ),
+            ("sim_max_tokens".into(), (self.sim_max_tokens as u64).into()),
+        ]
+    }
 }
 
 #[cfg(test)]

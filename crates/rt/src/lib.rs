@@ -19,6 +19,9 @@
 //! - [`fault`] — a seeded, simulated-time fault-injection layer
 //!   ([`fault::FaultPlan`]/[`fault::FaultInjector`]) the pipeline's
 //!   resilience machinery is tested against.
+//! - [`obs`] — a deterministic tracing + metrics layer
+//!   ([`obs::Tracer`]/[`obs::MetricsRegistry`]) driven by the simulated
+//!   clock, with Chrome-trace (Perfetto), flamegraph and ASCII exporters.
 //!
 //! The suite-wide policy is **zero external registry dependencies**: if a
 //! capability is needed, it is implemented here or in the crate that needs
@@ -28,8 +31,10 @@ pub mod bench;
 pub mod check;
 pub mod fault;
 pub mod json;
+pub mod obs;
 pub mod rng;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use obs::{MetricsRegistry, ObsSession, SpanId, Tracer};
 pub use rng::{Rng, WeightedIndex};

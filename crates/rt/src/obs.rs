@@ -1,0 +1,768 @@
+//! Deterministic tracing and metrics (`rt::obs`).
+//!
+//! The source paper's contribution is *observation*: `perf record`
+//! per-symbol attribution of the MSA phase (Tables III–V) and Nsight
+//! Systems span timelines of the inference phase (Fig. 8). This module is
+//! the suite's own first-class analogue of those two tools, with one
+//! crucial difference: every timestamp comes from the **simulated clock**,
+//! never from wall time or ambient state, so two runs with the same seed
+//! and fault plan emit byte-for-byte identical traces.
+//!
+//! Three pieces:
+//!
+//! - [`Tracer`] — a structured span tracer: nested spans, instant events,
+//!   key/value attributes, all stamped in simulated seconds. Spans can be
+//!   opened against the live clock ([`Tracer::begin`]/[`Tracer::end`]) or
+//!   recorded after the fact at explicit offsets ([`Tracer::closed_span`])
+//!   — the latter is how per-symbol `perf` attribution is laid under a
+//!   phase span once the simulation has produced its shares.
+//! - [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms
+//!   under canonical dotted names. The per-crate counter silos
+//!   (`hmmer::counters::WorkCounters`, simarch perf totals, the GPU
+//!   breakdown) publish into it under the paper's symbol names
+//!   (`calc_band_9`, `addbuf`, `xla_compile`, …).
+//! - Exporters — Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`, emitted via [`crate::json`]), collapsed-stack
+//!   flamegraph text (`a;b;c <microseconds>` lines), and an ASCII span
+//!   tree for terminals.
+//!
+//! [`ObsSession`] bundles one tracer with one registry; the Chrome export
+//! carries the metrics snapshot in the file's `otherData` section so a
+//! single artifact holds the whole observation.
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Handle to a recorded span (index into the tracer's arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One span node in the arena.
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: String,
+    start_s: f64,
+    /// End time; meaningful only when `closed`.
+    end_s: f64,
+    closed: bool,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    attrs: Vec<(String, Json)>,
+}
+
+/// One instant (zero-duration) event.
+#[derive(Debug, Clone)]
+struct InstantNode {
+    name: String,
+    at_s: f64,
+    attrs: Vec<(String, Json)>,
+}
+
+/// A deterministic, simulated-clock span tracer.
+///
+/// The clock only moves when the instrumented code calls
+/// [`Tracer::advance`] (or [`Tracer::set_clock`]) with simulated
+/// durations, so the emitted trace is a pure function of the run's inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    clock_s: f64,
+    spans: Vec<SpanNode>,
+    instants: Vec<InstantNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl Tracer {
+    /// An empty tracer with the clock at zero.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Current simulated clock, in seconds.
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Advance the simulated clock. Non-finite or negative deltas are
+    /// ignored (a fault must never corrupt the timeline).
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.clock_s += seconds;
+        }
+    }
+
+    /// Move the clock forward to `seconds` (never backwards).
+    pub fn set_clock(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > self.clock_s {
+            self.clock_s = seconds;
+        }
+    }
+
+    /// Open a span at the current clock, nested under the innermost open
+    /// span. Close it with [`Tracer::end`].
+    pub fn begin(&mut self, name: impl Into<String>) -> SpanId {
+        let parent = self.stack.last().copied();
+        let id = self.insert(name.into(), self.clock_s, f64::NAN, false, parent);
+        self.stack.push(id.0);
+        id
+    }
+
+    /// Close the innermost open span at the current clock. No-op when
+    /// nothing is open.
+    pub fn end(&mut self) {
+        if let Some(idx) = self.stack.pop() {
+            let node = &mut self.spans[idx];
+            node.end_s = self.clock_s.max(node.start_s);
+            node.closed = true;
+        }
+    }
+
+    /// Close every open span at the current clock (used by runners on
+    /// early-exit paths so failed runs still export well-formed trees).
+    pub fn end_all(&mut self) {
+        while !self.stack.is_empty() {
+            self.end();
+        }
+    }
+
+    /// Depth of the open-span stack.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Record a fully-formed span at an explicit offset, nested under the
+    /// innermost open span. The clock does not move — this is the
+    /// after-the-fact attribution path (per-symbol shares, forwarded
+    /// timelines).
+    pub fn closed_span(
+        &mut self,
+        name: impl Into<String>,
+        start_s: f64,
+        duration_s: f64,
+    ) -> SpanId {
+        let d = if duration_s.is_finite() {
+            duration_s.max(0.0)
+        } else {
+            0.0
+        };
+        let parent = self.stack.last().copied();
+        self.insert(name.into(), start_s, start_s + d, true, parent)
+    }
+
+    /// Record a fully-formed span under an explicit parent.
+    pub fn child_span(
+        &mut self,
+        parent: SpanId,
+        name: impl Into<String>,
+        start_s: f64,
+        duration_s: f64,
+    ) -> SpanId {
+        let d = if duration_s.is_finite() {
+            duration_s.max(0.0)
+        } else {
+            0.0
+        };
+        self.insert(name.into(), start_s, start_s + d, true, Some(parent.0))
+    }
+
+    fn insert(
+        &mut self,
+        name: String,
+        start_s: f64,
+        end_s: f64,
+        closed: bool,
+        parent: Option<usize>,
+    ) -> SpanId {
+        let idx = self.spans.len();
+        self.spans.push(SpanNode {
+            name,
+            start_s,
+            end_s,
+            closed,
+            parent,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.spans[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        SpanId(idx)
+    }
+
+    /// Attach an attribute to the innermost open span. No-op when nothing
+    /// is open.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        if let Some(&idx) = self.stack.last() {
+            self.spans[idx].attrs.push((key.into(), value.into()));
+        }
+    }
+
+    /// Attach an attribute to a specific span.
+    pub fn span_attr(&mut self, id: SpanId, key: impl Into<String>, value: impl Into<Json>) {
+        self.spans[id.0].attrs.push((key.into(), value.into()));
+    }
+
+    /// Record an instant event at the current clock, under the innermost
+    /// open span.
+    pub fn instant(&mut self, name: impl Into<String>) {
+        self.instant_at(self.clock_s, name);
+    }
+
+    /// Record an instant event at an explicit simulated time.
+    pub fn instant_at(&mut self, at_s: f64, name: impl Into<String>) {
+        self.instants.push(InstantNode {
+            name: name.into(),
+            at_s,
+            attrs: Vec::new(),
+        });
+    }
+
+    /// Attach an attribute to the most recently recorded instant event.
+    /// No-op when none exists.
+    pub fn instant_attr(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        if let Some(last) = self.instants.last_mut() {
+            last.attrs.push((key.into(), value.into()));
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Names of all recorded spans, in creation order.
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Names of all instant events, in creation order.
+    pub fn instant_names(&self) -> Vec<&str> {
+        self.instants.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    /// How many instant events carry exactly this name.
+    pub fn instant_count(&self, name: &str) -> usize {
+        self.instants.iter().filter(|i| i.name == name).count()
+    }
+
+    /// Duration of span `id` (up to the current clock if still open).
+    pub fn span_seconds(&self, id: SpanId) -> f64 {
+        let s = &self.spans[id.0];
+        self.effective_end(s) - s.start_s
+    }
+
+    /// Start time of span `id` in simulated seconds.
+    pub fn span_start_seconds(&self, id: SpanId) -> f64 {
+        self.spans[id.0].start_s
+    }
+
+    /// The most recently created span with this name, if any. Lets
+    /// adapters hang children off a span recorded by another layer (e.g.
+    /// per-symbol attribution under a forwarded timeline phase).
+    pub fn last_span_named(&self, name: &str) -> Option<SpanId> {
+        self.spans.iter().rposition(|s| s.name == name).map(SpanId)
+    }
+
+    fn effective_end(&self, s: &SpanNode) -> f64 {
+        if s.closed {
+            s.end_s
+        } else {
+            self.clock_s.max(s.start_s)
+        }
+    }
+
+    /// Chrome trace-event JSON (the Perfetto / `chrome://tracing` format):
+    /// every span as a complete (`"ph":"X"`) event, every instant as a
+    /// thread-scoped (`"ph":"i"`) event, timestamps in microseconds of
+    /// simulated time. Deterministic: events are emitted in creation
+    /// order and numbers use [`crate::json`]'s fixed formatting rule.
+    pub fn chrome_trace_events(&self) -> Json {
+        let mut events = Vec::with_capacity(self.spans.len() + self.instants.len());
+        for s in &self.spans {
+            let mut e = obj()
+                .field("name", s.name.as_str())
+                .field("cat", "span")
+                .field("ph", "X")
+                .field("ts", s.start_s * 1e6)
+                .field("dur", (self.effective_end(s) - s.start_s) * 1e6)
+                .field("pid", 1u64)
+                .field("tid", 1u64);
+            if !s.attrs.is_empty() {
+                e = e.field("args", Json::Obj(s.attrs.clone()));
+            }
+            events.push(e.build());
+        }
+        for i in &self.instants {
+            let mut e = obj()
+                .field("name", i.name.as_str())
+                .field("cat", "instant")
+                .field("ph", "i")
+                .field("s", "t")
+                .field("ts", i.at_s * 1e6)
+                .field("pid", 1u64)
+                .field("tid", 1u64);
+            if !i.attrs.is_empty() {
+                e = e.field("args", Json::Obj(i.attrs.clone()));
+            }
+            events.push(e.build());
+        }
+        Json::Arr(events)
+    }
+
+    /// Collapsed-stack flamegraph text: one `root;child;leaf <µs>` line
+    /// per stack with its *self* time (duration minus children) in
+    /// integer microseconds, aggregated over repeats and sorted
+    /// lexicographically — the input format of `flamegraph.pl` and
+    /// `inferno`.
+    pub fn flamegraph(&self) -> String {
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for (idx, s) in self.spans.iter().enumerate() {
+            let children_s: f64 = s
+                .children
+                .iter()
+                .map(|&c| {
+                    let c = &self.spans[c];
+                    self.effective_end(c) - c.start_s
+                })
+                .sum();
+            let self_s = (self.effective_end(s) - s.start_s - children_s).max(0.0);
+            let mut path = Vec::new();
+            let mut cur = Some(idx);
+            while let Some(i) = cur {
+                path.push(self.spans[i].name.as_str());
+                cur = self.spans[i].parent;
+            }
+            path.reverse();
+            let key = path.join(";");
+            *stacks.entry(key).or_insert(0) += (self_s * 1e6).round() as u64;
+        }
+        let mut out = String::new();
+        for (stack, us) in stacks {
+            let _ = writeln!(out, "{stack} {us}");
+        }
+        out
+    }
+
+    /// ASCII span tree for terminals: pre-order, one span per line with
+    /// duration and share of its root, instants listed beneath the tree.
+    pub fn ascii_tree(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            let r = &self.spans[root];
+            let total = (self.effective_end(r) - r.start_s).max(1e-12);
+            self.render_node(&mut out, root, 0, total);
+        }
+        if !self.instants.is_empty() {
+            let _ = writeln!(out, "instants:");
+            for i in &self.instants {
+                let _ = writeln!(out, "  @{:>10.3}s  {}", i.at_s, i.name);
+            }
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, idx: usize, depth: usize, root_total: f64) {
+        let s = &self.spans[idx];
+        let d = self.effective_end(s) - s.start_s;
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<32} {:>10.3}s {:>5.1}%",
+            "",
+            s.name,
+            d,
+            d / root_total * 100.0,
+            indent = depth * 2
+        );
+        for &c in &s.children {
+            self.render_node(out, c, depth + 1, root_total);
+        }
+    }
+}
+
+/// A fixed-bucket histogram (cumulative counts are derivable; buckets are
+/// `(-inf, b0], (b0, b1], …, (bn, +inf)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    fn to_json(&self) -> Json {
+        obj()
+            .field(
+                "bounds",
+                Json::Arr(self.bounds.iter().map(|&b| Json::Num(b)).collect()),
+            )
+            .field(
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| c.into()).collect()),
+            )
+            .field("count", self.total)
+            .field("sum", self.sum)
+            .build()
+    }
+}
+
+/// Counters, gauges and histograms under canonical dotted names.
+///
+/// Backed by ordered maps, so every export is deterministic regardless of
+/// registration order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add to a monotonically increasing counter (created at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Set a gauge to the latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Record an observation into a histogram, creating it with `bounds`
+    /// on first use (later calls reuse the existing buckets).
+    pub fn observe(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current counter value (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// JSON snapshot: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, keys sorted.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.into()))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
+        obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+            .build()
+    }
+
+    /// Plain-text rendering (one `name value` line per metric, sorted).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter   {k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge     {k} = {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {k} = count {} sum {} buckets {:?}",
+                h.count(),
+                h.sum(),
+                h.bucket_counts()
+            );
+        }
+        out
+    }
+}
+
+/// One observation session: a tracer plus a metrics registry, exported as
+/// a single Chrome-trace artifact.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSession {
+    /// The span tracer.
+    pub tracer: Tracer,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsSession {
+    /// An empty session.
+    pub fn new() -> ObsSession {
+        ObsSession::default()
+    }
+
+    /// The full Chrome-trace document: `traceEvents` from the tracer plus
+    /// the metrics snapshot in `otherData` (a Chrome-trace-format
+    /// extension field Perfetto preserves).
+    pub fn chrome_trace(&self) -> Json {
+        obj()
+            .field("displayTimeUnit", "ms")
+            .field("traceEvents", self.tracer.chrome_trace_events())
+            .field("otherData", self.metrics.to_json())
+            .build()
+    }
+
+    /// Pretty-printed Chrome trace text (byte-deterministic).
+    pub fn chrome_trace_text(&self) -> String {
+        let mut s = self.chrome_trace().pretty();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        t.begin("pipeline");
+        t.attr("sample", "7RCE");
+        t.begin("msa");
+        t.closed_span("calc_band_9", 0.0, 6.0);
+        t.closed_span("addbuf", 6.0, 2.0);
+        t.advance(10.0);
+        t.end();
+        t.instant("fault:oom-kill");
+        t.instant_attr("lost_s", 3.5);
+        t.begin("inference");
+        t.advance(5.0);
+        t.end();
+        t.end();
+        t
+    }
+
+    #[test]
+    fn spans_nest_and_time_from_the_simulated_clock() {
+        let t = demo_tracer();
+        assert_eq!(t.clock_seconds(), 15.0);
+        assert_eq!(
+            t.span_names(),
+            vec!["pipeline", "msa", "calc_band_9", "addbuf", "inference"]
+        );
+        assert_eq!(t.open_depth(), 0);
+        assert_eq!(t.instant_count("fault:oom-kill"), 1);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_advances_are_ignored() {
+        let mut t = Tracer::new();
+        t.advance(5.0);
+        t.advance(-3.0);
+        t.advance(f64::NAN);
+        t.advance(f64::INFINITY);
+        assert_eq!(t.clock_seconds(), 5.0);
+        t.set_clock(2.0); // never backwards
+        assert_eq!(t.clock_seconds(), 5.0);
+        t.set_clock(9.0);
+        assert_eq!(t.clock_seconds(), 9.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_parses() {
+        let a = demo_tracer().chrome_trace_events().pretty();
+        let b = demo_tracer().chrome_trace_events().pretty();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).expect("emitted trace must parse");
+        let events = parsed.as_array().expect("array");
+        assert_eq!(events.len(), 6); // 5 spans + 1 instant
+                                     // The msa span: ts 0, dur 10 s = 1e7 µs.
+        let msa = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("msa"))
+            .expect("msa span present");
+        assert_eq!(msa.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(msa.get("dur").and_then(Json::as_f64), Some(1e7));
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("instant present");
+        assert_eq!(
+            inst.get("name").and_then(Json::as_str),
+            Some("fault:oom-kill")
+        );
+    }
+
+    #[test]
+    fn flamegraph_collapses_self_time() {
+        let fg = demo_tracer().flamegraph();
+        // msa has 10 s total, 8 s in children: 2 s self = 2e6 µs.
+        assert!(fg.contains("pipeline;msa 2000000\n"), "{fg}");
+        assert!(fg.contains("pipeline;msa;calc_band_9 6000000\n"), "{fg}");
+        // Lines are sorted lexicographically — deterministic output.
+        let lines: Vec<&str> = fg.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn ascii_tree_renders_shares() {
+        let text = demo_tracer().ascii_tree();
+        assert!(text.contains("pipeline"), "{text}");
+        assert!(text.contains("calc_band_9"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("instants:"), "{text}");
+    }
+
+    #[test]
+    fn open_spans_export_up_to_the_clock() {
+        let mut t = Tracer::new();
+        let id = t.begin("unfinished");
+        t.advance(4.0);
+        assert_eq!(t.span_seconds(id), 4.0);
+        let fg = t.flamegraph();
+        assert!(fg.contains("unfinished 4000000\n"), "{fg}");
+        t.end_all();
+        assert_eq!(t.open_depth(), 0);
+        assert_eq!(t.span_seconds(id), 4.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 55.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unordered_bounds() {
+        let _ = Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_is_ordered_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.inc("msa.calc_band_9.cells", 100);
+        m.inc("msa.addbuf.ops", 7);
+        m.inc("msa.calc_band_9.cells", 50);
+        m.set_gauge("inference.xla_compile.seconds", 12.5);
+        m.observe("msa.search_seconds", 3.0, &[1.0, 10.0, 100.0]);
+        assert_eq!(m.counter("msa.calc_band_9.cells"), 150);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("inference.xla_compile.seconds"), Some(12.5));
+        let j = m.to_json().pretty();
+        assert_eq!(j, m.to_json().pretty());
+        // BTreeMap ordering: addbuf before calc_band_9.
+        let addbuf = j.find("addbuf").expect("addbuf present");
+        let band = j.find("calc_band_9").expect("band present");
+        assert!(addbuf < band);
+        assert!(m.render_text().contains("counter   msa.addbuf.ops = 7"));
+    }
+
+    #[test]
+    fn session_exports_one_artifact_with_metrics() {
+        let mut s = ObsSession::new();
+        s.tracer.begin("run");
+        s.tracer.advance(1.0);
+        s.tracer.end();
+        s.metrics.inc("msa.addbuf.ops", 3);
+        let text = s.chrome_trace_text();
+        let parsed = Json::parse(&text).expect("chrome trace parses");
+        assert!(parsed.get("traceEvents").is_some());
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|d| d.get("counters"))
+                .and_then(|c| c.get("msa.addbuf.ops"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!(text.ends_with('\n'));
+    }
+}

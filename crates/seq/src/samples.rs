@@ -118,6 +118,26 @@ pub struct Sample {
     pub characteristic: &'static str,
 }
 
+impl Sample {
+    /// Key/value trace attributes identifying this sample on a root
+    /// pipeline span (Table II metadata).
+    pub fn trace_attrs(&self) -> Vec<(String, afsb_rt::Json)> {
+        vec![
+            ("sample".into(), self.id.name().into()),
+            (
+                "composition".into(),
+                self.assembly.composition_summary().into(),
+            ),
+            (
+                "total_residues".into(),
+                (self.assembly.total_residues() as u64).into(),
+            ),
+            ("chains".into(), (self.assembly.chain_count() as u64).into()),
+            ("complexity".into(), self.complexity.to_string().into()),
+        ]
+    }
+}
+
 /// Construct a benchmark sample deterministically.
 pub fn sample(id: SampleId) -> Sample {
     let mut rng = rng_for(&format!("sample:{}", id.name()), 2024);

@@ -210,6 +210,54 @@ impl SimResult {
             self.totals.instructions as f64 / cycles as f64
         }
     }
+
+    /// Lay one closed child span per symbol under `parent`, packed
+    /// back-to-back across `[start_s, start_s + duration_s)` with widths
+    /// proportional to each symbol's cycle share — the trace-timeline
+    /// rendering of the `perf report` attribution in [`SimResult::report`]
+    /// (paper Tables III–V). Symbols are emitted in perf-report order
+    /// (descending cycles, name tiebreak), so the layout is deterministic.
+    /// Returns the created span ids, in that order.
+    pub fn trace_symbols_under(
+        &self,
+        tracer: &mut afsb_rt::obs::Tracer,
+        parent: afsb_rt::obs::SpanId,
+        start_s: f64,
+        duration_s: f64,
+    ) -> Vec<afsb_rt::obs::SpanId> {
+        let mut offset = start_s;
+        let mut ids = Vec::new();
+        for (name, stats) in self.report.top_by_cycles() {
+            let share = self.report.cycles_share(name);
+            let width = duration_s * share;
+            let id = tracer.child_span(parent, name, offset, width);
+            tracer.span_attr(id, "cycles", stats.cycles());
+            tracer.span_attr(id, "cycles_share", share);
+            tracer.span_attr(id, "llc_misses", stats.llc_misses);
+            tracer.span_attr(id, "tlb_l1_misses", stats.tlb_l1_misses);
+            tracer.span_attr(id, "page_faults", stats.page_faults);
+            offset += width;
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Publish per-symbol counters and run-level gauges under
+    /// `<prefix>.<symbol>.<counter>` / `<prefix>.<gauge>`.
+    pub fn publish_metrics(&self, metrics: &mut afsb_rt::obs::MetricsRegistry, prefix: &str) {
+        for (name, stats) in self.report.top_by_cycles() {
+            metrics.inc(&format!("{prefix}.{name}.cycles"), stats.cycles());
+            metrics.inc(&format!("{prefix}.{name}.instructions"), stats.instructions);
+            metrics.inc(&format!("{prefix}.{name}.llc_misses"), stats.llc_misses);
+            metrics.inc(&format!("{prefix}.{name}.page_faults"), stats.page_faults);
+        }
+        metrics.set_gauge(&format!("{prefix}.wall_seconds"), self.wall_seconds());
+        metrics.set_gauge(&format!("{prefix}.ipc"), self.ipc());
+        metrics.set_gauge(
+            &format!("{prefix}.bandwidth_demand_gibs"),
+            self.bandwidth_demand_gibs,
+        );
+    }
 }
 
 /// Per-access pattern selector + cursors for one segment.
@@ -567,6 +615,42 @@ mod tests {
             *res.per_thread_cycles.iter().max().unwrap()
         );
         assert!(res.per_thread_cycles[0] > res.per_thread_cycles[1]);
+    }
+
+    #[test]
+    fn trace_adapter_tiles_symbol_spans_over_the_window() {
+        let spec = PlatformSpec::desktop();
+        let engine = SimEngine::new(spec).with_sample_cap(20_000);
+        let region = Region::new(0x1000_0000, 8 << 20);
+        let mut p = ThreadProgram::new();
+        for sym in ["calc_band_9", "addbuf"] {
+            p.push(Segment::compute(
+                sym,
+                400_000,
+                100_000,
+                vec![WeightedPattern {
+                    weight: 1.0,
+                    pattern: AccessPattern::Random { region },
+                }],
+            ));
+        }
+        let res = engine.run(&[p], 11);
+
+        let mut tracer = afsb_rt::obs::Tracer::new();
+        let root = tracer.begin("msa");
+        tracer.advance(100.0);
+        let ids = res.trace_symbols_under(&mut tracer, root, 0.0, 100.0);
+        tracer.end();
+        assert_eq!(tracer.span_names().len(), 3); // msa + two symbols
+                                                  // The per-symbol spans tile the full window (shares sum to 1).
+        let total: f64 = ids.iter().map(|&id| tracer.span_seconds(id)).sum();
+        assert!((total - 100.0).abs() < 1e-9, "tiled {total}");
+
+        let mut m = afsb_rt::obs::MetricsRegistry::new();
+        res.publish_metrics(&mut m, "msa");
+        assert!(m.counter("msa.calc_band_9.cycles") > 0);
+        assert!(m.counter("msa.addbuf.instructions") > 0);
+        assert!(m.gauge("msa.ipc").is_some());
     }
 
     #[test]

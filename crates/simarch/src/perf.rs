@@ -193,10 +193,13 @@ impl PerfReport {
         ratio(own, total)
     }
 
-    /// Symbols sorted by descending cycle share (perf report order).
+    /// Symbols sorted by descending cycle share (perf report order), with
+    /// the symbol name as tiebreak — the order must be a pure function of
+    /// the counters, never of `HashMap` iteration order, because trace
+    /// exports and reports are asserted byte-identical across runs.
     pub fn top_by_cycles(&self) -> Vec<(&'static str, SymbolStats)> {
         let mut rows: Vec<_> = self.symbols.iter().map(|(&k, &v)| (k, v)).collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.1.cycles()));
+        rows.sort_by(|a, b| b.1.cycles().cmp(&a.1.cycles()).then(a.0.cmp(b.0)));
         rows
     }
 }
@@ -272,6 +275,19 @@ mod tests {
         let r = PerfReport::new(m);
         let top = r.top_by_cycles();
         assert_eq!(top[0].0, "hot");
+    }
+
+    #[test]
+    fn top_by_cycles_breaks_ties_by_name() {
+        // Equal cycle counts must still order deterministically (traces
+        // built from this order are compared byte-for-byte across runs).
+        let mut m = HashMap::new();
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            m.insert(name, stats(500, 1));
+        }
+        let r = PerfReport::new(m);
+        let names: Vec<_> = r.top_by_cycles().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "beta", "mid", "zeta"]);
     }
 
     #[test]

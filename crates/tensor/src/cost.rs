@@ -85,6 +85,20 @@ impl CostLog {
     pub fn extend(&mut self, other: &CostLog) {
         self.entries.extend(other.entries.iter().cloned());
     }
+
+    /// Publish per-label launch counters and FLOP/byte gauges under
+    /// `<prefix>.<label>.*` plus log-level totals (Table VI / Fig. 9 as
+    /// metrics instead of a rendered table).
+    pub fn publish_metrics(&self, metrics: &mut afsb_rt::MetricsRegistry, prefix: &str) {
+        for (label, (flops, bytes, launches)) in self.by_label() {
+            metrics.inc(&format!("{prefix}.{label}.launches"), launches);
+            metrics.set_gauge(&format!("{prefix}.{label}.flops"), flops);
+            metrics.set_gauge(&format!("{prefix}.{label}.bytes"), bytes);
+        }
+        metrics.inc(&format!("{prefix}.launches"), self.total_launches());
+        metrics.set_gauge(&format!("{prefix}.flops"), self.total_flops());
+        metrics.set_gauge(&format!("{prefix}.bytes"), self.total_bytes());
+    }
 }
 
 impl fmt::Display for CostLog {
@@ -163,5 +177,19 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_cost_rejected() {
         CostLog::new().record("bad", -1.0, 0.0, 1);
+    }
+
+    #[test]
+    fn publish_metrics_exports_labels_and_totals() {
+        let mut log = CostLog::new();
+        log.record("pair_transition", 100.0, 10.0, 2);
+        log.record("pair_transition", 50.0, 5.0, 1);
+        log.record("diffusion/global_attention", 30.0, 3.0, 4);
+        let mut m = afsb_rt::MetricsRegistry::new();
+        log.publish_metrics(&mut m, "kernels");
+        assert_eq!(m.counter("kernels.pair_transition.launches"), 3);
+        assert_eq!(m.counter("kernels.launches"), 7);
+        assert_eq!(m.gauge("kernels.pair_transition.flops"), Some(150.0));
+        assert_eq!(m.gauge("kernels.bytes"), Some(18.0));
     }
 }

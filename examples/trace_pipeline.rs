@@ -1,0 +1,88 @@
+//! Trace one Server-platform pipeline run under a seeded fault plan and
+//! export every observability artifact the suite produces.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline [OUT_DIR]
+//! ```
+//!
+//! Writes `trace.json` (Chrome trace-event JSON — open it in Perfetto or
+//! `chrome://tracing`) and `flame.txt` (collapsed stacks for
+//! `flamegraph.pl` / inferno) into `OUT_DIR` (default: the current
+//! directory; `AFSB_TRACE=<path>` overrides the trace path), then prints
+//! the ASCII span tree and the metrics registry. Everything runs on the
+//! simulated clock, so re-running with the same seed produces
+//! byte-identical files.
+
+use afsysbench::core::context::{BenchContext, ContextConfig};
+use afsysbench::core::msa_phase::MsaPhaseOptions;
+use afsysbench::core::pipeline::PipelineOptions;
+use afsysbench::core::resilience::{run_resilient_traced, ResilienceOptions};
+use afsysbench::model::ModelConfig;
+use afsysbench::rt::fault::{FaultKind, FaultPlan};
+use afsysbench::rt::{Json, ObsSession};
+use afsysbench::seq::samples::SampleId;
+use afsysbench::simarch::Platform;
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let trace_path = std::env::var("AFSB_TRACE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(&out_dir).join("trace.json"));
+    let flame_path = PathBuf::from(&out_dir).join("flame.txt");
+
+    println!("building databases and running the search engine for 7RCE…");
+    let mut ctx = BenchContext::new(ContextConfig::bench());
+    let data = ctx.sample_data(SampleId::S7rce);
+
+    let options = PipelineOptions {
+        msa: MsaPhaseOptions::default(),
+        model: Some(ModelConfig::paper()),
+        seed: 7,
+    };
+    // A seeded bad day: mid-MSA OOM kill (recovered from a checkpoint),
+    // a storage stall absorbed into the scan, one GPU init failure.
+    let plan = FaultPlan::none()
+        .with(FaultKind::OomKill { at_fraction: 0.7 })
+        .with(FaultKind::StorageStall {
+            stall_seconds: 20.0,
+        })
+        .with(FaultKind::GpuInitFailure);
+
+    let mut obs = ObsSession::new();
+    let result = run_resilient_traced(
+        &data,
+        Platform::Server,
+        4,
+        &options,
+        &ResilienceOptions::default(),
+        &plan,
+        &mut obs,
+    );
+
+    let trace = obs.chrome_trace_text();
+    // The export must round-trip through our own JSON parser.
+    Json::parse(&trace).expect("exported trace must be valid JSON");
+    std::fs::write(&trace_path, &trace).expect("write trace.json");
+    std::fs::write(&flame_path, obs.tracer.flamegraph()).expect("write flame.txt");
+
+    println!(
+        "\noutcome: {} after {} retries ({} faults fired, {:.1}s simulated wall)",
+        result.outcome,
+        result.retries,
+        result.fault_events.len(),
+        result.wall_seconds
+    );
+    println!("\n── span tree ──────────────────────────────────────────");
+    print!("{}", obs.tracer.ascii_tree());
+    println!("\n── metrics ────────────────────────────────────────────");
+    print!("{}", obs.metrics.render_text());
+    println!(
+        "\nwrote {} ({} bytes) and {} ({} bytes)",
+        trace_path.display(),
+        trace.len(),
+        flame_path.display(),
+        obs.tracer.flamegraph().len()
+    );
+    println!("open the trace in https://ui.perfetto.dev or chrome://tracing");
+}

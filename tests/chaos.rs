@@ -12,11 +12,13 @@ use afsysbench::core::msa_phase::{run_msa_phase, MsaPhaseOptions};
 use afsysbench::core::pipeline::{run_pipeline, PipelineOptions};
 use afsysbench::core::report::resilience_table;
 use afsysbench::core::resilience::{
-    run_resilient, DegradeStep, ResilienceOptions, ResilientResult, RunOutcome,
+    run_resilient, run_resilient_traced, DegradeStep, ResilienceOptions, ResilientResult,
+    RunOutcome,
 };
 use afsysbench::core::results::{to_json, PipelineRecord};
 use afsysbench::model::ModelConfig;
 use afsysbench::rt::fault::{FaultKind, FaultPlan};
+use afsysbench::rt::{Json, ObsSession};
 use afsysbench::seq::alphabet::MoleculeKind;
 use afsysbench::seq::samples::{self, ComplexityClass, Sample, SampleId};
 use afsysbench::simarch::Platform;
@@ -319,6 +321,97 @@ fn absorbed_faults_slow_the_run_without_retries() {
         r.wall_seconds,
         baseline.total_seconds()
     );
+}
+
+#[test]
+fn traced_chaos_run_is_deterministic_and_names_fired_faults() {
+    let data = shared_data(SampleId::S7rce);
+    let plan = FaultPlan::none()
+        .with(FaultKind::OomKill { at_fraction: 0.7 })
+        .with(FaultKind::StorageStall {
+            stall_seconds: 30.0,
+        })
+        .with(FaultKind::GpuInitFailure);
+    let resilience = ResilienceOptions::default();
+    let run = || {
+        let mut obs = ObsSession::new();
+        let r = run_resilient_traced(
+            &data,
+            Platform::Server,
+            4,
+            &options(),
+            &resilience,
+            &plan,
+            &mut obs,
+        );
+        (r, obs)
+    };
+    let (a, obs_a) = run();
+    let (_b, obs_b) = run();
+
+    // Tracing must not perturb the executor: accounting is identical to
+    // the untraced run, and two traced runs are byte-identical.
+    let plain = run_resilient(&data, Platform::Server, 4, &options(), &resilience, &plan);
+    assert_eq!(report_bytes(&a), report_bytes(&plain));
+    let trace = obs_a.chrome_trace_text();
+    assert_eq!(
+        trace,
+        obs_b.chrome_trace_text(),
+        "same plan+seed must export a byte-identical Chrome trace"
+    );
+
+    // The export round-trips through rt::json.
+    let parsed = Json::parse(&trace).expect("chrome trace must be valid JSON");
+    let events = parsed
+        .field("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Nested MSA + inference spans with paper-symbol attribution, plus
+    // the resilience narration spans.
+    let names = obs_a.tracer.span_names();
+    for expected in [
+        "resilient_run",
+        "msa_attempt_aborted",
+        "backoff",
+        "msa_phase",
+        "hmmer_scan",
+        "calc_band_9",
+        "storage_io",
+        "inference_phase",
+        "xla_compile",
+        "_M_fill_insert",
+        "gpu_compute",
+    ] {
+        assert!(names.contains(&expected), "missing span {expected}");
+    }
+
+    // One instant event per fault the plan actually fired, named after
+    // the fault kind.
+    assert_eq!(a.fault_events.len(), 3, "all three scheduled faults fire");
+    for e in &a.fault_events {
+        let name = format!("fault:{}", e.kind.label());
+        let fired = a
+            .fault_events
+            .iter()
+            .filter(|f| f.kind.label() == e.kind.label())
+            .count();
+        assert_eq!(obs_a.tracer.instant_count(&name), fired, "{name}");
+    }
+
+    // Retry/checkpoint/outcome narration rides along.
+    assert!(obs_a.tracer.instant_count("retry") >= 2);
+    assert!(obs_a.tracer.instant_count("checkpoint-restore") >= 1);
+    assert_eq!(
+        obs_a
+            .tracer
+            .instant_count(&format!("outcome:{}", a.outcome)),
+        1
+    );
+    assert!(obs_a.metrics.counter("resilience.retries") >= 2);
+    assert!(obs_a.metrics.counter("msa.hmmer.calc_band_9.cells") > 0);
 }
 
 #[test]
