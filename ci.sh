@@ -39,4 +39,26 @@ run cargo run --release --offline --example trace_pipeline -- "$trace_dir/b"
 run cmp "$trace_dir/a/trace.json" "$trace_dir/b/trace.json"
 run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 
+# Golden-results gate: regenerate the committed quick-mode experiment
+# outputs and diff them. Any drift in a table the paper reproduces must
+# show up as an intentional update to results/quick/, not silently.
+golden_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage)
+run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
+for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
+    run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
+done
+
+# Perf-regression gate: the profiler must be byte-deterministic, and the
+# fresh profile must stay within tolerance of the committed baseline —
+# per-symbol cycle shares, wall seconds, derived metrics, sampled top-N.
+# `perf-diff` exits nonzero naming the offending symbols otherwise.
+run target/release/afsysbench profile pipeline --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile pipeline --out "$golden_dir/perf-b" > /dev/null
+run cmp "$golden_dir/perf-a/BENCH_pipeline.json" "$golden_dir/perf-b/BENCH_pipeline.json"
+run target/release/afsysbench perf-diff results/BENCH_pipeline.json "$golden_dir/perf-a/BENCH_pipeline.json"
+run target/release/afsysbench profile msa-sweep --quick --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench perf-diff results/BENCH_msa_sweep.json "$golden_dir/perf-a/BENCH_msa_sweep.json"
+
 echo "==> tier-1 gate passed"

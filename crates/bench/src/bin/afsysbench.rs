@@ -1,8 +1,10 @@
-//! The AFSysBench CLI: regenerate any paper table or figure.
+//! The AFSysBench CLI: regenerate any paper table or figure, profile a
+//! run, or gate a profile against a committed baseline.
 //!
 //! ```text
-//! afsysbench <experiment> [--quick] [--out DIR]
-//! afsysbench all [--quick] [--out DIR]
+//! afsysbench <experiment...|all> [--quick] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep>... [--quick] [--out DIR]
+//! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
 //! The `trace` experiment runs one resilient pipeline with the
@@ -10,10 +12,20 @@
 //! trace-event JSON for Perfetto / `chrome://tracing`) plus a
 //! `.flame.txt` collapsed-stack sibling; `AFSB_TRACE=<path>` overrides
 //! the trace path. Fixed seed, byte-identical artifacts on every run.
+//!
+//! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
+//! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
+//! report) and `<experiment>.collapsed.txt` (flamegraph input) to the
+//! `--out` directory (default `.`). `perf-diff` exits 0 when the
+//! current profile is within tolerance of the baseline, 1 on
+//! regression (offending symbols named), 2 on usage or I/O errors.
 
 use afsb_bench::Harness;
+use afsb_perf::baseline::{diff, DiffTolerances, PerfBaseline};
+use afsb_perf::profile::{baseline_file_name, run_profile, PROFILE_EXPERIMENTS};
+use afsb_rt::{FromJson, Json, ToJson};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -39,8 +51,12 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: afsysbench <experiment|all> [--quick] [--out DIR]\n\nexperiments: {}",
-        EXPERIMENTS.join(", ")
+        "usage: afsysbench <experiment...|all> [--quick] [--out DIR]\n\
+         \x20      afsysbench profile <experiment>... [--quick] [--out DIR]\n\
+         \x20      afsysbench perf-diff <baseline.json> <current.json>\n\n\
+         experiments: {}\nprofile experiments: {}",
+        EXPERIMENTS.join(", "),
+        PROFILE_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
 }
@@ -86,31 +102,125 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
     Some(out)
 }
 
+/// Write one output file under `dir`, creating the directory if needed.
+fn write_out(dir: &Path, name: &str, content: &str) {
+    if let Err(e) = fs::create_dir_all(dir).and_then(|_| fs::write(dir.join(name), content)) {
+        eprintln!("failed to write {}: {e}", dir.join(name).display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", dir.join(name).display());
+}
+
+fn cmd_profile(experiments: &[String], quick: bool, out_dir: &Path) -> ! {
+    if experiments.is_empty() {
+        eprintln!(
+            "profile needs at least one experiment (available: {})",
+            PROFILE_EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    for exp in experiments {
+        let artifacts = match run_profile(exp, quick) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "\n########## profile {exp} ##########\n{}",
+            artifacts.report_text
+        );
+        let mut json = artifacts.baseline.to_json().pretty();
+        json.push('\n');
+        write_out(out_dir, &baseline_file_name(exp), &json);
+        write_out(
+            out_dir,
+            &format!("{exp}.profile.txt"),
+            &artifacts.report_text,
+        );
+        write_out(
+            out_dir,
+            &format!("{exp}.collapsed.txt"),
+            &artifacts.collapsed,
+        );
+    }
+    std::process::exit(0);
+}
+
+fn load_baseline(path: &str) -> PerfBaseline {
+    let fail = |msg: String| -> ! {
+        eprintln!("perf-diff: {msg}");
+        std::process::exit(2);
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("cannot read {path}: {e}")),
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => fail(format!("{path} is not valid JSON: {e}")),
+    };
+    match PerfBaseline::from_json(&json) {
+        Ok(b) => b,
+        Err(e) => fail(format!("{path} is not a perf baseline: {e}")),
+    }
+}
+
+fn cmd_perf_diff(args: &[String]) -> ! {
+    let [base_path, cur_path] = args else { usage() };
+    let base = load_baseline(base_path);
+    let cur = load_baseline(cur_path);
+    let report = diff(&base, &cur, &DiffTolerances::default());
+    print!("{}", report.render());
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut target: Option<String> = None;
+    if args.first().map(String::as_str) == Some("perf-diff") {
+        cmd_perf_diff(&args[1..]);
+    }
+
+    let mut targets: Vec<String> = Vec::new();
     let mut quick = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => out_dir = it.next().map(PathBuf::from),
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory argument");
+                    usage();
+                }
+            },
             "-h" | "--help" => usage(),
-            name if target.is_none() => target = Some(name.to_owned()),
-            _ => usage(),
+            flag if flag.starts_with('-') => usage(),
+            name => targets.push(name.to_owned()),
         }
     }
-    let Some(target) = target else { usage() };
+    if targets.is_empty() {
+        usage();
+    }
+
+    if targets[0] == "profile" {
+        cmd_profile(
+            &targets[1..],
+            quick,
+            out_dir.as_deref().unwrap_or(Path::new(".")),
+        );
+    }
 
     let mut harness = Harness::new(quick);
-    let names: Vec<&str> = if target == "all" {
-        EXPERIMENTS.to_vec()
+    let names: Vec<String> = if targets.iter().any(|t| t == "all") {
+        EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect()
     } else {
-        vec![target.as_str()]
+        targets
     };
 
-    for name in names {
+    for name in &names {
         let Some(output) = run_one(&mut harness, name) else {
             eprintln!("unknown experiment: {name}");
             usage();

@@ -48,6 +48,58 @@ pub fn price_kernel(cost: &KernelCost, device: &GpuSpec, uvm_fraction: f64) -> K
     }
 }
 
+/// Nsight-style utilization summary of a priced cost log: how close the
+/// run came to the device roofline and where the time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RooflineStats {
+    /// Achieved FLOP throughput over the device's effective peak
+    /// (`total_flops / total_seconds / effective_flops`). Below 1 when
+    /// memory-bound phases or launch overhead starve the SMs.
+    pub attainment: f64,
+    /// Fraction of priced kernel time spent in memory-bound kernels.
+    pub memory_bound_fraction: f64,
+    /// Fraction of priced kernel time spent in launch overhead.
+    pub launch_share: f64,
+    /// SM-occupancy proxy: fraction of priced time the SMs are issuing
+    /// compute (each kernel contributes `compute_s`, capped at its own
+    /// roofline time).
+    pub sm_occupancy: f64,
+    /// Total priced kernel seconds.
+    pub total_s: f64,
+}
+
+/// Summarize a cost log against a device roofline.
+///
+/// Returns all-zero stats for an empty log (no kernels, no utilization).
+pub fn roofline_stats(log: &CostLog, device: &GpuSpec, uvm_fraction: f64) -> RooflineStats {
+    let mut total_s = 0.0;
+    let mut total_flops = 0.0;
+    let mut memory_bound_s = 0.0;
+    let mut launch_s = 0.0;
+    let mut issue_s = 0.0;
+    for entry in log.entries() {
+        let t = price_kernel(entry, device, uvm_fraction);
+        let kernel_total = t.total();
+        total_s += kernel_total;
+        total_flops += entry.flops;
+        launch_s += t.launch_s;
+        issue_s += t.compute_s.min(kernel_total);
+        if t.memory_bound() {
+            memory_bound_s += kernel_total;
+        }
+    }
+    if total_s <= 0.0 {
+        return RooflineStats::default();
+    }
+    RooflineStats {
+        attainment: total_flops / total_s / device.effective_flops(),
+        memory_bound_fraction: memory_bound_s / total_s,
+        launch_share: launch_s / total_s,
+        sm_occupancy: issue_s / total_s,
+        total_s,
+    }
+}
+
 /// Price a whole cost log; returns per-label seconds and the total.
 pub fn price_log(
     log: &CostLog,
@@ -119,6 +171,33 @@ mod tests {
         assert_eq!(per.len(), 2);
         assert!(per["b"] > 0.0 && per["a"] > per["b"] * 0.9);
         assert!((per.values().sum::<f64>() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_stats_bound_and_empty() {
+        let d = GpuSpec::h100();
+        let empty = roofline_stats(&CostLog::new(), &d, 0.0);
+        assert_eq!(empty.attainment, 0.0);
+        assert_eq!(empty.total_s, 0.0);
+
+        let mut log = CostLog::new();
+        log.record("gemm", 1e15, 1e6, 1); // compute-bound
+        log.record("softmax", 1e9, 1e12, 1); // memory-bound
+        let s = roofline_stats(&log, &d, 0.0);
+        assert!(s.attainment > 0.0 && s.attainment <= 1.0 + 1e-9);
+        assert!(s.memory_bound_fraction > 0.0 && s.memory_bound_fraction < 1.0);
+        assert!(s.sm_occupancy > 0.0 && s.sm_occupancy <= 1.0 + 1e-9);
+        assert!(s.launch_share < 0.01);
+        // A compute-only log attains ~100% of the roofline (one launch of
+        // overhead keeps it a hair below).
+        let mut pure = CostLog::new();
+        pure.record("gemm", 1e15, 1.0, 1);
+        let p = roofline_stats(&pure, &d, 0.0);
+        assert!(
+            (p.attainment - 1.0).abs() < 1e-3,
+            "attainment {}",
+            p.attainment
+        );
     }
 
     #[test]

@@ -124,6 +124,21 @@ impl WorkCounters {
         );
     }
 
+    /// Per-stage DP cell counts in pipeline order, named by the paper's
+    /// Table IV symbols where one exists. The single source of stage
+    /// naming for span tiling ([`Self::trace_stages_under`]) and the
+    /// `afsb-perf` stat report.
+    pub fn stage_cells(&self) -> [(&'static str, u64); 6] {
+        [
+            ("ssv_filter", self.ssv_cells),
+            ("msv_filter", self.msv_cells),
+            ("calc_band_9", self.band_cells_mi),
+            ("calc_band_10", self.band_cells_ds),
+            ("forward", self.forward_cells),
+            ("traceback", self.traceback_cells),
+        ]
+    }
+
     /// Tile one closed child span per DP stage under `parent` across
     /// `[start_s, start_s + duration_s)`, widths proportional to each
     /// stage's cell count and named by the paper's Table IV symbols where
@@ -136,14 +151,7 @@ impl WorkCounters {
         start_s: f64,
         duration_s: f64,
     ) -> Vec<afsb_rt::obs::SpanId> {
-        let stages: [(&str, u64); 6] = [
-            ("ssv_filter", self.ssv_cells),
-            ("msv_filter", self.msv_cells),
-            ("calc_band_9", self.band_cells_mi),
-            ("calc_band_10", self.band_cells_ds),
-            ("forward", self.forward_cells),
-            ("traceback", self.traceback_cells),
-        ];
+        let stages = self.stage_cells();
         let total = self.total_dp_cells().max(1) as f64;
         let mut at = start_s;
         let mut ids = Vec::new();

@@ -1,0 +1,587 @@
+//! Perf baselines and the regression-diff engine.
+//!
+//! `afsysbench profile <experiment>` serializes a [`PerfBaseline`] to
+//! `BENCH_<experiment>.json` (deterministic field order, byte-identical
+//! across same-seed runs); `afsysbench perf-diff <baseline> <current>`
+//! re-reads two of them and compares wall seconds, derived metrics,
+//! per-symbol cycle shares, and the sampled top-N against configurable
+//! tolerances — nonzero exit on regression, offending symbols named.
+
+use crate::record::SampledProfile;
+use crate::stat::SymbolRow;
+use afsb_rt::json::obj;
+use afsb_rt::{FromJson, Json, JsonError, ToJson};
+use std::fmt::Write as _;
+
+/// Schema tag embedded in every baseline file.
+pub const SCHEMA: &str = "afsb-perf-baseline-v1";
+
+/// One named symbol table (e.g. the MSA-phase or host-phase block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolTable {
+    /// Table name (`msa`, `host`, …).
+    pub name: String,
+    /// Rows in perf-report order.
+    pub rows: Vec<SymbolRow>,
+}
+
+/// Summary of a sampled profile stored in a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampledSummary {
+    /// Sampling interval (simulated seconds).
+    pub interval_s: f64,
+    /// Total samples.
+    pub total_samples: u64,
+    /// Top leaf symbols by sampled share, descending.
+    pub top: Vec<(String, f64)>,
+}
+
+impl SampledSummary {
+    /// Summarize a profile's top `n` leaves.
+    pub fn from_profile(profile: &SampledProfile, n: usize) -> SampledSummary {
+        SampledSummary {
+            interval_s: profile.interval_s(),
+            total_samples: profile.total_samples(),
+            top: profile.top(n),
+        }
+    }
+}
+
+/// A committed perf baseline: everything `perf-diff` gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Experiment name (`pipeline`, `msa-sweep`).
+    pub experiment: String,
+    /// Deterministic seed the profile ran with.
+    pub seed: u64,
+    /// Whether the quick (test-scale) configuration was used.
+    pub quick: bool,
+    /// Named scalar metrics (`wall.msa_s`, `derived.ipc`, …), ordered.
+    pub metrics: Vec<(String, f64)>,
+    /// Per-symbol tables.
+    pub symbol_tables: Vec<SymbolTable>,
+    /// Sampled-profile summary.
+    pub sampled: SampledSummary,
+}
+
+impl PerfBaseline {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a symbol table by name.
+    pub fn table(&self, name: &str) -> Option<&SymbolTable> {
+        self.symbol_tables.iter().find(|t| t.name == name)
+    }
+}
+
+impl ToJson for PerfBaseline {
+    fn to_json(&self) -> Json {
+        let metrics = Json::Arr(
+            self.metrics
+                .iter()
+                .map(|(name, value)| {
+                    obj()
+                        .field("name", name.as_str())
+                        .field("value", *value)
+                        .build()
+                })
+                .collect(),
+        );
+        let tables = Json::Arr(
+            self.symbol_tables
+                .iter()
+                .map(|t| {
+                    let rows = Json::Arr(t.rows.iter().map(symbol_row_json).collect());
+                    obj()
+                        .field("name", t.name.as_str())
+                        .field("rows", rows)
+                        .build()
+                })
+                .collect(),
+        );
+        let top = Json::Arr(
+            self.sampled
+                .top
+                .iter()
+                .map(|(symbol, share)| {
+                    obj()
+                        .field("symbol", symbol.as_str())
+                        .field("share", *share)
+                        .build()
+                })
+                .collect(),
+        );
+        let sampled = obj()
+            .field("interval_s", self.sampled.interval_s)
+            .field("total_samples", self.sampled.total_samples)
+            .field("top", top)
+            .build();
+        obj()
+            .field("schema", SCHEMA)
+            .field("experiment", self.experiment.as_str())
+            .field("seed", self.seed)
+            .field("quick", self.quick)
+            .field("metrics", metrics)
+            .field("symbol_tables", tables)
+            .field("sampled", sampled)
+            .build()
+    }
+}
+
+fn symbol_row_json(r: &SymbolRow) -> Json {
+    obj()
+        .field("symbol", r.symbol.as_str())
+        .field("cycles", r.cycles)
+        .field("cycle_share", r.cycle_share)
+        .field("cache_miss_share", r.cache_miss_share)
+        .field("tlb_miss_share", r.tlb_miss_share)
+        .field("page_fault_share", r.page_fault_share)
+        .field("ipc", r.ipc)
+        .build()
+}
+
+fn symbol_row_from(v: &Json) -> Result<SymbolRow, JsonError> {
+    let f = |key: &str| -> Result<f64, JsonError> {
+        v.field(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::msg(format!("`{key}` must be a number")))
+    };
+    Ok(SymbolRow {
+        symbol: v
+            .field("symbol")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("`symbol` must be a string"))?
+            .to_owned(),
+        cycles: v
+            .field("cycles")?
+            .as_u64()
+            .ok_or_else(|| JsonError::msg("`cycles` must be a u64"))?,
+        cycle_share: f("cycle_share")?,
+        cache_miss_share: f("cache_miss_share")?,
+        tlb_miss_share: f("tlb_miss_share")?,
+        page_fault_share: f("page_fault_share")?,
+        ipc: f("ipc")?,
+    })
+}
+
+impl FromJson for PerfBaseline {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let schema = v.field("schema")?.as_str().unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(JsonError::msg(format!(
+                "unsupported baseline schema `{schema}` (want `{SCHEMA}`)"
+            )));
+        }
+        let mut metrics = Vec::new();
+        for m in v
+            .field("metrics")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("`metrics` must be an array"))?
+        {
+            let name = m
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("metric `name` must be a string"))?
+                .to_owned();
+            let value = m
+                .field("value")?
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("metric `value` must be a number"))?;
+            metrics.push((name, value));
+        }
+        let mut symbol_tables = Vec::new();
+        for t in v
+            .field("symbol_tables")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("`symbol_tables` must be an array"))?
+        {
+            let name = t
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("table `name` must be a string"))?
+                .to_owned();
+            let mut rows = Vec::new();
+            for r in t
+                .field("rows")?
+                .as_array()
+                .ok_or_else(|| JsonError::msg("table `rows` must be an array"))?
+            {
+                rows.push(symbol_row_from(r)?);
+            }
+            symbol_tables.push(SymbolTable { name, rows });
+        }
+        let s = v.field("sampled")?;
+        let mut top = Vec::new();
+        for entry in s
+            .field("top")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("sampled `top` must be an array"))?
+        {
+            top.push((
+                entry
+                    .field("symbol")?
+                    .as_str()
+                    .ok_or_else(|| JsonError::msg("sampled `symbol` must be a string"))?
+                    .to_owned(),
+                entry
+                    .field("share")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::msg("sampled `share` must be a number"))?,
+            ));
+        }
+        Ok(PerfBaseline {
+            experiment: v
+                .field("experiment")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("`experiment` must be a string"))?
+                .to_owned(),
+            seed: v
+                .field("seed")?
+                .as_u64()
+                .ok_or_else(|| JsonError::msg("`seed` must be a u64"))?,
+            quick: matches!(v.field("quick")?, Json::Bool(true)),
+            metrics,
+            symbol_tables,
+            sampled: SampledSummary {
+                interval_s: s
+                    .field("interval_s")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::msg("`interval_s` must be a number"))?,
+                total_samples: s
+                    .field("total_samples")?
+                    .as_u64()
+                    .ok_or_else(|| JsonError::msg("`total_samples` must be a u64"))?,
+                top,
+            },
+        })
+    }
+}
+
+/// Tolerances for [`diff`]. Everything is deterministic, so identical
+/// code produces identical baselines — tolerances exist to let small
+/// *intentional* model changes through while catching real shifts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffTolerances {
+    /// Per-symbol cycle-share drift allowed: flagged when
+    /// `|cur − base| > max(cycle_share_abs, cycle_share_rel · base)`.
+    /// The defaults catch any ≥ 10 % relative regression of a symbol
+    /// holding ≥ 1 % of cycles.
+    pub cycle_share_abs: f64,
+    /// Relative component of the cycle-share band.
+    pub cycle_share_rel: f64,
+    /// Allowed relative wall-time increase (`wall.*` metrics; one-sided —
+    /// getting faster never fails, it suggests re-baselining).
+    pub wall_rel: f64,
+    /// Allowed relative drift of other derived metrics (two-sided).
+    pub metric_rel: f64,
+    /// Allowed absolute drift of a sampled top-N share.
+    pub sampled_abs: f64,
+}
+
+impl Default for DiffTolerances {
+    fn default() -> DiffTolerances {
+        DiffTolerances {
+            cycle_share_abs: 0.01,
+            cycle_share_rel: 0.08,
+            wall_rel: 0.05,
+            metric_rel: 0.15,
+            sampled_abs: 0.03,
+        }
+    }
+}
+
+/// One regression found by [`diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// What regressed (metric name or `table/symbol` path).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The outcome of a baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Regressions (non-empty fails the gate).
+    pub regressions: Vec<Finding>,
+    /// Non-failing observations (improvements, new cold symbols).
+    pub notes: Vec<String>,
+    /// Values compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Render the comparison outcome.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            let _ = writeln!(
+                out,
+                "perf-diff OK: {} values within tolerance",
+                self.compared
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "perf-diff FAILED: {} regression(s) over {} compared values",
+                self.regressions.len(),
+                self.compared
+            );
+            for f in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "  REGRESSION {:<40} baseline {:>12.6}  current {:>12.6}  ({})",
+                    f.name, f.baseline, f.current, f.detail
+                );
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Compare a current profile against a committed baseline.
+pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+
+    if baseline.experiment != current.experiment || baseline.quick != current.quick {
+        report.regressions.push(Finding {
+            name: "baseline/identity".into(),
+            baseline: 0.0,
+            current: 0.0,
+            detail: format!(
+                "incomparable profiles: baseline is `{}` (quick={}), current is `{}` (quick={})",
+                baseline.experiment, baseline.quick, current.experiment, current.quick
+            ),
+        });
+        return report;
+    }
+
+    for (name, base) in &baseline.metrics {
+        report.compared += 1;
+        let Some(cur) = current.metric(name) else {
+            report.regressions.push(Finding {
+                name: name.clone(),
+                baseline: *base,
+                current: f64::NAN,
+                detail: "metric missing from current profile".into(),
+            });
+            continue;
+        };
+        if name.starts_with("wall.") {
+            if cur > base * (1.0 + tol.wall_rel) + 1e-9 {
+                report.regressions.push(Finding {
+                    name: name.clone(),
+                    baseline: *base,
+                    current: cur,
+                    detail: format!(
+                        "wall time up {:.1}% (tolerance {:.0}%)",
+                        (cur / base - 1.0) * 100.0,
+                        tol.wall_rel * 100.0
+                    ),
+                });
+            } else if cur < base * (1.0 - tol.wall_rel) {
+                report.notes.push(format!(
+                    "{name} improved {:.1}% — consider re-baselining",
+                    (1.0 - cur / base) * 100.0
+                ));
+            }
+        } else if (cur - base).abs() > tol.metric_rel * base.abs() + 1e-9 {
+            report.regressions.push(Finding {
+                name: name.clone(),
+                baseline: *base,
+                current: cur,
+                detail: format!("metric drifted beyond ±{:.0}%", tol.metric_rel * 100.0),
+            });
+        }
+    }
+
+    for table in &baseline.symbol_tables {
+        let cur_table = current.table(&table.name);
+        for row in &table.rows {
+            report.compared += 1;
+            let path = format!("{}/{}", table.name, row.symbol);
+            let cur_row = cur_table.and_then(|t| t.rows.iter().find(|r| r.symbol == row.symbol));
+            let Some(cur_row) = cur_row else {
+                report.regressions.push(Finding {
+                    name: path,
+                    baseline: row.cycle_share,
+                    current: 0.0,
+                    detail: "symbol missing from current profile".into(),
+                });
+                continue;
+            };
+            let band = tol
+                .cycle_share_abs
+                .max(tol.cycle_share_rel * row.cycle_share);
+            let delta = cur_row.cycle_share - row.cycle_share;
+            if delta.abs() > band {
+                report.regressions.push(Finding {
+                    name: path,
+                    baseline: row.cycle_share,
+                    current: cur_row.cycle_share,
+                    detail: format!(
+                        "cycle share shifted {:+.2} pp (band ±{:.2} pp)",
+                        delta * 100.0,
+                        band * 100.0
+                    ),
+                });
+            }
+        }
+        if let Some(cur_table) = cur_table {
+            for r in &cur_table.rows {
+                let known = table.rows.iter().any(|b| b.symbol == r.symbol);
+                if !known && r.cycle_share > tol.cycle_share_abs {
+                    report.regressions.push(Finding {
+                        name: format!("{}/{}", table.name, r.symbol),
+                        baseline: 0.0,
+                        current: r.cycle_share,
+                        detail: "new hot symbol not in baseline".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    for (symbol, base_share) in &baseline.sampled.top {
+        report.compared += 1;
+        let cur_share = current
+            .sampled
+            .top
+            .iter()
+            .find(|(s, _)| s == symbol)
+            .map(|&(_, v)| v);
+        match cur_share {
+            Some(cur) if (cur - base_share).abs() <= tol.sampled_abs => {}
+            Some(cur) => report.regressions.push(Finding {
+                name: format!("sampled/{symbol}"),
+                baseline: *base_share,
+                current: cur,
+                detail: format!(
+                    "sampled share shifted {:+.2} pp (band ±{:.2} pp)",
+                    (cur - base_share) * 100.0,
+                    tol.sampled_abs * 100.0
+                ),
+            }),
+            None => report.regressions.push(Finding {
+                name: format!("sampled/{symbol}"),
+                baseline: *base_share,
+                current: 0.0,
+                detail: "symbol dropped out of the sampled top-N".into(),
+            }),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(symbol: &str, share: f64) -> SymbolRow {
+        SymbolRow {
+            symbol: symbol.to_owned(),
+            cycles: (share * 1e6) as u64,
+            cycle_share: share,
+            cache_miss_share: share / 2.0,
+            tlb_miss_share: 0.0,
+            page_fault_share: 0.0,
+            ipc: 1.5,
+        }
+    }
+
+    fn baseline() -> PerfBaseline {
+        PerfBaseline {
+            experiment: "pipeline".into(),
+            seed: 17,
+            quick: true,
+            metrics: vec![("wall.total_s".into(), 100.0), ("derived.ipc".into(), 1.25)],
+            symbol_tables: vec![SymbolTable {
+                name: "msa".into(),
+                rows: vec![row("calc_band_9", 0.30), row("addbuf", 0.15)],
+            }],
+            sampled: SampledSummary {
+                interval_s: 0.01,
+                total_samples: 4000,
+                top: vec![("calc_band_9".into(), 0.29)],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_deterministic() {
+        let b = baseline();
+        let text = b.to_json().pretty();
+        assert_eq!(text, b.to_json().pretty());
+        let parsed = PerfBaseline::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn identical_profiles_pass() {
+        let b = baseline();
+        let d = diff(&b, &b, &DiffTolerances::default());
+        assert!(d.passed(), "{}", d.render());
+        assert!(d.compared > 0);
+    }
+
+    #[test]
+    fn ten_percent_cycle_share_regression_fails_and_names_symbol() {
+        let b = baseline();
+        let mut cur = b.clone();
+        // calc_band_9: 0.30 → 0.333 (+11 % relative) — beyond the
+        // max(0.01, 0.08·0.30) = 0.024 band.
+        cur.symbol_tables[0].rows[0].cycle_share = 0.333;
+        let d = diff(&b, &cur, &DiffTolerances::default());
+        assert!(!d.passed());
+        let rendered = d.render();
+        assert!(
+            rendered.contains("msa/calc_band_9"),
+            "offending symbol must be named:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn wall_regression_one_sided() {
+        let b = baseline();
+        let mut slow = b.clone();
+        slow.metrics[0].1 = 110.0; // +10 % wall
+        assert!(!diff(&b, &slow, &DiffTolerances::default()).passed());
+        let mut fast = b.clone();
+        fast.metrics[0].1 = 80.0; // −20 % wall: pass with a note
+        let d = diff(&b, &fast, &DiffTolerances::default());
+        assert!(d.passed());
+        assert!(!d.notes.is_empty());
+    }
+
+    #[test]
+    fn missing_symbol_and_mode_mismatch_fail() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.symbol_tables[0].rows.remove(0);
+        assert!(!diff(&b, &cur, &DiffTolerances::default()).passed());
+
+        let mut full = b.clone();
+        full.quick = false;
+        let d = diff(&b, &full, &DiffTolerances::default());
+        assert!(!d.passed());
+        assert!(d.render().contains("incomparable"));
+    }
+}

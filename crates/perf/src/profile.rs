@@ -1,0 +1,280 @@
+//! Profiling experiment drivers: run a workload under the tracer, build
+//! every report engine, and fold the result into a [`PerfBaseline`]
+//! ready to serialize as `BENCH_<experiment>.json`.
+//!
+//! Two experiments are profiled:
+//!
+//! * `pipeline` — the end-to-end S2pv7 run on the Server (the paper's
+//!   headline workload), yielding Tables III–V, the sampled profile,
+//!   and the iostat timeline.
+//! * `msa-sweep` — the S6qnr MSA thread sweep (Fig. 5), yielding per
+//!   thread-count wall/CPU/I/O metrics plus the 4-thread symbol table.
+//!
+//! Both are fully deterministic: the same seed and mode produce a
+//! byte-identical baseline file.
+
+use crate::baseline::{PerfBaseline, SampledSummary, SymbolTable};
+use crate::iostat::IostatTimeline;
+use crate::record::{SampledProfile, DEFAULT_SAMPLES};
+use crate::stat::{cpu_derived, symbol_rows, CpuDerived, PerfStatReport};
+use afsb_core::context::{BenchContext, ContextConfig};
+use afsb_core::msa_phase::MsaPhaseOptions;
+use afsb_core::pipeline::PipelineOptions;
+use afsb_core::runner::{msa_thread_sweep, MSA_THREAD_SWEEP};
+use afsb_core::trace::{record_msa_phase, run_pipeline_traced};
+use afsb_model::ModelConfig;
+use afsb_rt::obs::ObsSession;
+use afsb_seq::samples::SampleId;
+use afsb_simarch::Platform;
+use std::fmt::Write as _;
+
+/// Experiments `afsysbench profile` understands.
+pub const PROFILE_EXPERIMENTS: [&str; 2] = ["pipeline", "msa-sweep"];
+
+/// Seed shared by the profiled runs (matches the bench harness).
+pub const PROFILE_SEED: u64 = 17;
+
+/// How many leaf symbols the baseline's sampled top-N keeps.
+pub const SAMPLED_TOP_N: usize = 10;
+
+/// Everything one `profile` invocation produces.
+#[derive(Debug, Clone)]
+pub struct ProfileArtifacts {
+    /// The diffable baseline (serialize with `to_json().pretty()`).
+    pub baseline: PerfBaseline,
+    /// Human-readable session report (stat + sampled + iostat).
+    pub report_text: String,
+    /// Collapsed stacks — flamegraph input.
+    pub collapsed: String,
+}
+
+/// The canonical baseline file name for an experiment
+/// (`BENCH_pipeline.json`, `BENCH_msa_sweep.json`).
+pub fn baseline_file_name(experiment: &str) -> String {
+    format!("BENCH_{}.json", experiment.replace('-', "_"))
+}
+
+/// Run the named profiling experiment. `Err` lists the known
+/// experiments when the name is unknown.
+pub fn run_profile(experiment: &str, quick: bool) -> Result<ProfileArtifacts, String> {
+    match experiment {
+        "pipeline" => Ok(profile_pipeline(quick)),
+        "msa-sweep" => Ok(profile_msa_sweep(quick)),
+        other => Err(format!(
+            "unknown profile experiment `{other}` (available: {})",
+            PROFILE_EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+fn scale(quick: bool) -> (ContextConfig, u64) {
+    if quick {
+        (ContextConfig::test(), 400_000)
+    } else {
+        (ContextConfig::bench(), 6_000_000)
+    }
+}
+
+fn push_derived(metrics: &mut Vec<(String, f64)>, prefix: &str, d: &CpuDerived) {
+    metrics.push((format!("{prefix}.ipc"), d.ipc));
+    metrics.push((
+        format!("{prefix}.cache_miss_per_kinst"),
+        d.cache_miss_per_kinst,
+    ));
+    metrics.push((format!("{prefix}.l1_miss_pct"), d.l1_miss_pct));
+    metrics.push((format!("{prefix}.llc_miss_pct"), d.llc_miss_pct));
+    metrics.push((format!("{prefix}.dtlb_miss_pct"), d.dtlb_miss_pct));
+    metrics.push((format!("{prefix}.branch_miss_pct"), d.branch_miss_pct));
+    metrics.push((format!("{prefix}.dram_bw_util_pct"), d.dram_bw_util_pct));
+}
+
+/// Profile the end-to-end pipeline (S2pv7, Server, 4 threads).
+pub fn profile_pipeline(quick: bool) -> ProfileArtifacts {
+    let (config, sample_cap) = scale(quick);
+    let mut ctx = BenchContext::new(config);
+    let data = ctx.sample_data(SampleId::S2pv7);
+    let options = PipelineOptions {
+        msa: MsaPhaseOptions {
+            sample_cap,
+            ..MsaPhaseOptions::default()
+        },
+        model: Some(ModelConfig::paper()),
+        seed: PROFILE_SEED,
+    };
+    let mut obs = ObsSession::new();
+    let result = run_pipeline_traced(&data, Platform::Server, 4, &options, &mut obs);
+
+    let stat = PerfStatReport::from_pipeline(&data, &result);
+    let sampled = SampledProfile::capture_n(&obs.tracer, DEFAULT_SAMPLES);
+    let iostat = IostatTimeline::sample_msa(&result.msa, result.msa.wall_seconds().max(1.0) / 50.0);
+
+    let mut metrics = Vec::new();
+    metrics.push(("wall.msa_s".to_owned(), stat.msa_wall_s));
+    metrics.push(("wall.inference_s".to_owned(), stat.inference_wall_s));
+    metrics.push(("wall.total_s".to_owned(), stat.total_s));
+    push_derived(&mut metrics, "derived", &stat.msa_derived);
+    push_derived(&mut metrics, "host", &stat.host_derived);
+    let g = &stat.gpu;
+    metrics.push(("gpu.roofline_attainment".to_owned(), g.roofline.attainment));
+    metrics.push(("gpu.sm_occupancy".to_owned(), g.roofline.sm_occupancy));
+    metrics.push((
+        "gpu.memory_bound_frac".to_owned(),
+        g.roofline.memory_bound_fraction,
+    ));
+    metrics.push(("gpu.launch_share".to_owned(), g.roofline.launch_share));
+    metrics.push(("gpu.overhead_share".to_owned(), g.overhead_share));
+    metrics.push(("gpu.uvm_fraction".to_owned(), g.uvm_fraction));
+    metrics.push(("iostat.mean_util_pct".to_owned(), iostat.mean_util_pct()));
+    metrics.push(("iostat.stall_s".to_owned(), iostat.stall_seconds()));
+
+    let baseline = PerfBaseline {
+        experiment: "pipeline".to_owned(),
+        seed: PROFILE_SEED,
+        quick,
+        metrics,
+        symbol_tables: vec![
+            SymbolTable {
+                name: "msa".to_owned(),
+                rows: stat.msa_symbols.clone(),
+            },
+            SymbolTable {
+                name: "host".to_owned(),
+                rows: stat.host_symbols.clone(),
+            },
+        ],
+        sampled: SampledSummary::from_profile(&sampled, SAMPLED_TOP_N),
+    };
+
+    let mut report_text = stat.render();
+    report_text.push('\n');
+    report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+    report_text.push('\n');
+    report_text.push_str(&iostat.render());
+
+    ProfileArtifacts {
+        baseline,
+        report_text,
+        collapsed: sampled.collapsed(),
+    }
+}
+
+/// Profile the MSA thread sweep (S6qnr, Server, Fig. 5 thread counts).
+pub fn profile_msa_sweep(quick: bool) -> ProfileArtifacts {
+    let (config, sample_cap) = scale(quick);
+    let mut ctx = BenchContext::new(config);
+    let data = ctx.sample_data(SampleId::S6qnr);
+    let options = MsaPhaseOptions {
+        sample_cap,
+        ..MsaPhaseOptions::default()
+    };
+    let sweep = msa_thread_sweep(&data, Platform::Server, &MSA_THREAD_SWEEP, &options);
+
+    // Lay every sweep point into one trace so the sampled profile covers
+    // the whole experiment.
+    let mut obs = ObsSession::new();
+    obs.tracer.begin("msa_sweep");
+    for (_, r) in &sweep {
+        record_msa_phase(&data, r, &mut obs);
+    }
+    obs.tracer.end();
+    let sampled = SampledProfile::capture_n(&obs.tracer, DEFAULT_SAMPLES);
+
+    let mut metrics = Vec::new();
+    let mut report_text = String::new();
+    let _ = writeln!(
+        report_text,
+        "msa thread sweep: {} on {} (sample_cap {})",
+        data.sample.id.name(),
+        Platform::Server,
+        sample_cap
+    );
+    let _ = writeln!(
+        report_text,
+        "{:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "threads", "wall_s", "cpu_s", "io_s", "ipc", "%util"
+    );
+    for (t, r) in &sweep {
+        let d = cpu_derived(&r.sim, Platform::Server);
+        metrics.push((format!("sweep.t{t}.wall_s"), r.wall_seconds()));
+        metrics.push((format!("sweep.t{t}.cpu_s"), r.cpu_seconds));
+        metrics.push((format!("sweep.t{t}.io_added_s"), r.io_added_seconds));
+        metrics.push((format!("sweep.t{t}.ipc"), d.ipc));
+        metrics.push((format!("sweep.t{t}.nvme_util_pct"), r.iostat.util_pct));
+        let _ = writeln!(
+            report_text,
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>8.1}",
+            t,
+            r.wall_seconds(),
+            r.cpu_seconds,
+            r.io_added_seconds,
+            d.ipc,
+            r.iostat.util_pct
+        );
+    }
+
+    // Symbol attribution at the paper's default 4-thread point.
+    let four = sweep
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .map(|(_, r)| r)
+        .unwrap_or(&sweep[0].1);
+    let symbol_tables = vec![SymbolTable {
+        name: "msa".to_owned(),
+        rows: symbol_rows(&four.sim.report),
+    }];
+
+    report_text.push('\n');
+    report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    ProfileArtifacts {
+        baseline: PerfBaseline {
+            experiment: "msa-sweep".to_owned(),
+            seed: options.seed,
+            quick,
+            metrics,
+            symbol_tables,
+            sampled: SampledSummary::from_profile(&sampled, SAMPLED_TOP_N),
+        },
+        report_text,
+        collapsed: sampled.collapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afsb_rt::ToJson;
+
+    #[test]
+    fn unknown_experiment_lists_available() {
+        let err = run_profile("nope", true).unwrap_err();
+        assert!(
+            err.contains("pipeline") && err.contains("msa-sweep"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn baseline_file_names_are_underscored() {
+        assert_eq!(baseline_file_name("pipeline"), "BENCH_pipeline.json");
+        assert_eq!(baseline_file_name("msa-sweep"), "BENCH_msa_sweep.json");
+    }
+
+    #[test]
+    fn quick_msa_sweep_profile_is_deterministic_and_complete() {
+        let a = profile_msa_sweep(true);
+        let b = profile_msa_sweep(true);
+        assert_eq!(
+            a.baseline.to_json().pretty(),
+            b.baseline.to_json().pretty(),
+            "same seed must give a byte-identical baseline"
+        );
+        assert_eq!(a.collapsed, b.collapsed);
+        for t in MSA_THREAD_SWEEP {
+            assert!(a.baseline.metric(&format!("sweep.t{t}.wall_s")).unwrap() > 0.0);
+        }
+        assert!(!a.baseline.symbol_tables[0].rows.is_empty());
+        assert!(a.baseline.sampled.total_samples > 0);
+        assert!(a.report_text.contains("threads"));
+    }
+}

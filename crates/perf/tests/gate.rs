@@ -1,0 +1,138 @@
+//! Acceptance gates for the profiler layer:
+//!
+//! * the Table IV-style symbol blocks reproduce exactly the ranking of
+//!   `PerfReport::top_by_cycles`;
+//! * the sampled profile agrees with exact cycle attribution within the
+//!   documented tolerance;
+//! * `perf-diff` passes on an unchanged profile and fails — naming the
+//!   offending symbol — on an injected ≥ 10 % cycle-share regression;
+//! * a real baseline survives a JSON round trip losslessly.
+
+use afsb_core::context::{BenchContext, ContextConfig};
+use afsb_core::msa_phase::{run_msa_phase, MsaPhaseOptions};
+use afsb_perf::baseline::{diff, DiffTolerances, PerfBaseline};
+use afsb_perf::profile::{profile_pipeline, ProfileArtifacts};
+use afsb_perf::record::SampledProfile;
+use afsb_perf::stat::symbol_rows;
+use afsb_rt::obs::Tracer;
+use afsb_rt::{FromJson, Json, ToJson};
+use afsb_seq::samples::SampleId;
+use afsb_simarch::{Platform, SimResult};
+use std::sync::OnceLock;
+
+/// One shared quick pipeline profile — the expensive part of this suite.
+fn pipeline_profile() -> &'static ProfileArtifacts {
+    static PROFILE: OnceLock<ProfileArtifacts> = OnceLock::new();
+    PROFILE.get_or_init(|| profile_pipeline(true))
+}
+
+fn quick_msa_sim() -> SimResult {
+    let mut ctx = BenchContext::new(ContextConfig::test());
+    let data = ctx.sample_data(SampleId::S2pv7);
+    run_msa_phase(
+        &data,
+        Platform::Server,
+        4,
+        &MsaPhaseOptions {
+            sample_cap: 200_000,
+            ..MsaPhaseOptions::default()
+        },
+    )
+    .sim
+}
+
+#[test]
+fn stat_tables_reproduce_top_by_cycles_ranking() {
+    let sim = quick_msa_sim();
+    let expected: Vec<&str> = sim
+        .report
+        .top_by_cycles()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    let got: Vec<String> = symbol_rows(&sim.report)
+        .into_iter()
+        .map(|r| r.symbol)
+        .collect();
+    assert_eq!(got, expected, "profiler must never reorder perf's ranking");
+
+    // The committed baseline's tables obey the same invariant: cycles
+    // descending, symbol name as tiebreak.
+    let baseline = &pipeline_profile().baseline;
+    for table in &baseline.symbol_tables {
+        for pair in table.rows.windows(2) {
+            assert!(
+                pair[0].cycles > pair[1].cycles
+                    || (pair[0].cycles == pair[1].cycles && pair[0].symbol < pair[1].symbol),
+                "table `{}` out of order at `{}`/`{}`",
+                table.name,
+                pair[0].symbol,
+                pair[1].symbol
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_profile_matches_exact_attribution_within_tolerance() {
+    // Tile a span with the MSA phase's exact per-symbol cycle shares,
+    // then sample it: the sampled leaf shares must agree with the exact
+    // attribution within the tolerance documented in `record` (2 pp).
+    let sim = quick_msa_sim();
+    let mut t = Tracer::new();
+    t.begin("msa_phase");
+    let phase = t.closed_span("cpu", 0.0, 100.0);
+    sim.trace_symbols_under(&mut t, phase, 0.0, 100.0);
+    t.advance(100.0);
+    t.end();
+
+    let profile = SampledProfile::capture_n(&t, 4000);
+    for (name, _) in sim.report.top_by_cycles().into_iter().take(4) {
+        let exact = sim.report.cycles_share(name);
+        let sampled = profile.leaf_share(name);
+        assert!(
+            (sampled - exact).abs() < 0.02,
+            "symbol {name}: sampled {sampled:.4} vs exact {exact:.4}"
+        );
+    }
+}
+
+#[test]
+fn perf_diff_passes_unchanged_and_fails_on_injected_regression() {
+    let baseline = &pipeline_profile().baseline;
+    let tol = DiffTolerances::default();
+
+    let clean = diff(baseline, baseline, &tol);
+    assert!(clean.passed(), "self-diff must pass:\n{}", clean.render());
+
+    // Inject a 12 % relative cycle-share regression into the hottest
+    // MSA symbol (shares stay un-renormalized: exactly what a hotter
+    // symbol under a fixed total looks like).
+    let mut hot = baseline.clone();
+    let table = hot
+        .symbol_tables
+        .iter_mut()
+        .find(|t| t.name == "msa")
+        .expect("pipeline baseline has an msa table");
+    let victim = table.rows[0].symbol.clone();
+    table.rows[0].cycle_share *= 1.12;
+
+    let bad = diff(baseline, &hot, &tol);
+    assert!(!bad.passed(), "injected regression must fail the gate");
+    let rendered = bad.render();
+    assert!(
+        rendered.contains(&format!("msa/{victim}")),
+        "offending symbol `{victim}` must be named:\n{rendered}"
+    );
+}
+
+#[test]
+fn real_baseline_round_trips_through_json() {
+    let baseline = &pipeline_profile().baseline;
+    let text = baseline.to_json().pretty();
+    assert_eq!(text, baseline.to_json().pretty(), "serialization is stable");
+    let parsed = PerfBaseline::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(&parsed, baseline);
+    assert!(!pipeline_profile().collapsed.is_empty());
+    assert!(pipeline_profile().report_text.contains("Table III"));
+}

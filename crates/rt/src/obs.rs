@@ -273,6 +273,78 @@ impl Tracer {
         }
     }
 
+    /// Latest simulated time covered by any span or by the clock — the
+    /// horizon a sampling profiler should sweep.
+    pub fn extent_seconds(&self) -> f64 {
+        self.spans
+            .iter()
+            .map(|s| self.effective_end(s))
+            .fold(self.clock_s, f64::max)
+    }
+
+    fn covers(&self, idx: usize, at_s: f64) -> bool {
+        let s = &self.spans[idx];
+        s.start_s <= at_s && at_s < self.effective_end(s)
+    }
+
+    /// The span stack covering simulated time `at_s`, root first: the
+    /// deepest chain of spans whose `[start, end)` interval contains the
+    /// instant. When siblings overlap the most recently created one wins
+    /// (after-the-fact attribution lays the most specific span last).
+    /// Empty when no span covers `at_s`.
+    ///
+    /// This is the sampling primitive of the `perf record`-style profiler
+    /// (`afsb-perf`): probing the stack at a fixed simulated-time interval
+    /// turns the span tree back into hit counts, exactly as a sampling
+    /// profiler sees a running program.
+    pub fn stack_at(&self, at_s: f64) -> Vec<&str> {
+        let mut path = Vec::new();
+        let Some(&root) = self.roots.iter().rev().find(|&&idx| self.covers(idx, at_s)) else {
+            return path;
+        };
+        let mut cur = root;
+        loop {
+            path.push(self.spans[cur].name.as_str());
+            match self.spans[cur]
+                .children
+                .iter()
+                .rev()
+                .find(|&&c| self.covers(c, at_s))
+            {
+                Some(&child) => cur = child,
+                None => return path,
+            }
+        }
+    }
+
+    /// Sample the span stack every `interval_s` simulated seconds
+    /// (midpoint convention: probes at `interval/2 + k·interval`, so tick
+    /// boundaries never land exactly on span edges) and aggregate hit
+    /// counts per collapsed stack (`root;child;leaf`). Samples falling
+    /// outside every span are dropped, as `perf` drops samples outside
+    /// the profiled process. Deterministic; keys sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s` is not a positive finite number.
+    pub fn sample_stacks(&self, interval_s: f64) -> BTreeMap<String, u64> {
+        assert!(
+            interval_s.is_finite() && interval_s > 0.0,
+            "sampling interval must be positive and finite"
+        );
+        let extent = self.extent_seconds();
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        let ticks = (extent / interval_s).floor() as u64;
+        for k in 0..ticks {
+            let at = (k as f64 + 0.5) * interval_s;
+            let path = self.stack_at(at);
+            if !path.is_empty() {
+                *stacks.entry(path.join(";")).or_insert(0) += 1;
+            }
+        }
+        stacks
+    }
+
     /// Chrome trace-event JSON (the Perfetto / `chrome://tracing` format):
     /// every span as a complete (`"ph":"X"`) event, every instant as a
     /// thread-scoped (`"ph":"i"`) event, timestamps in microseconds of
@@ -443,7 +515,50 @@ impl Histogram {
         &self.bounds
     }
 
+    /// The upper bound of the bucket holding the `p`-quantile observation
+    /// (`p` clamped to `[0, 1]`), or `None` on an empty histogram.
+    ///
+    /// Buckets only retain upper bounds, so the estimate is conservative:
+    /// it reports the bucket boundary at or above the true quantile.
+    /// Observations in the overflow bucket saturate to the last finite
+    /// bound — exact values above it were never recorded.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let clamped = i.min(self.bounds.len() - 1);
+                return Some(self.bounds[clamped]);
+            }
+        }
+        Some(*self.bounds.last().expect("bounds are never empty"))
+    }
+
+    /// Count/sum/mean plus the p50/p90/p99 bucket estimates, or `None` on
+    /// an empty histogram.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.total,
+            sum: self.sum,
+            mean: self.sum / self.total as f64,
+            p50: self.percentile(0.50).expect("non-empty"),
+            p90: self.percentile(0.90).expect("non-empty"),
+            p99: self.percentile(0.99).expect("non-empty"),
+        })
+    }
+
     fn to_json(&self) -> Json {
+        let pct = |p: f64| match self.percentile(p) {
+            Some(v) => Json::Num(v),
+            None => Json::Null,
+        };
         obj()
             .field(
                 "bounds",
@@ -455,8 +570,29 @@ impl Histogram {
             )
             .field("count", self.total)
             .field("sum", self.sum)
+            .field("p50", pct(0.50))
+            .field("p90", pct(0.90))
+            .field("p99", pct(0.99))
             .build()
     }
+}
+
+/// Point summary of a [`Histogram`]: count, sum, mean and the p50/p90/p99
+/// bucket estimates (see [`Histogram::percentile`] for their semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Arithmetic mean of observed values.
+    pub mean: f64,
+    /// Median bucket estimate.
+    pub p50: f64,
+    /// 90th-percentile bucket estimate.
+    pub p90: f64,
+    /// 99th-percentile bucket estimate.
+    pub p99: f64,
 }
 
 /// Counters, gauges and histograms under canonical dotted names.
@@ -553,13 +689,27 @@ impl MetricsRegistry {
             let _ = writeln!(out, "gauge     {k} = {v}");
         }
         for (k, h) in &self.histograms {
-            let _ = writeln!(
-                out,
-                "histogram {k} = count {} sum {} buckets {:?}",
-                h.count(),
-                h.sum(),
-                h.bucket_counts()
-            );
+            match h.summary() {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram {k} = count {} sum {} p50 {} p90 {} p99 {} buckets {:?}",
+                        s.count,
+                        s.sum,
+                        s.p50,
+                        s.p90,
+                        s.p99,
+                        h.bucket_counts()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "histogram {k} = count 0 sum 0 buckets {:?}",
+                        h.bucket_counts()
+                    );
+                }
+            }
         }
         out
     }
@@ -764,5 +914,77 @@ mod tests {
             Some(3)
         );
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn stack_at_returns_deepest_covering_path() {
+        let mut t = Tracer::new();
+        t.begin("pipeline");
+        t.begin("msa_phase");
+        t.closed_span("hmmer_scan", 0.0, 6.0);
+        t.closed_span("storage_io", 6.0, 4.0);
+        t.advance(10.0);
+        t.end();
+        t.end();
+        assert_eq!(t.stack_at(3.0), vec!["pipeline", "msa_phase", "hmmer_scan"]);
+        assert_eq!(t.stack_at(7.0), vec!["pipeline", "msa_phase", "storage_io"]);
+        // Half-open intervals: a boundary instant belongs to the later span.
+        assert_eq!(t.stack_at(6.0), vec!["pipeline", "msa_phase", "storage_io"]);
+        assert!(t.stack_at(10.0).is_empty());
+        assert!(t.stack_at(-1.0).is_empty());
+        assert_eq!(t.extent_seconds(), 10.0);
+    }
+
+    #[test]
+    fn sample_stacks_counts_match_span_durations() {
+        let mut t = Tracer::new();
+        t.begin("run");
+        t.closed_span("a", 0.0, 6.0);
+        t.closed_span("b", 6.0, 2.0);
+        t.advance(8.0);
+        t.end();
+        let stacks = t.sample_stacks(0.5);
+        assert_eq!(stacks.get("run;a"), Some(&12));
+        assert_eq!(stacks.get("run;b"), Some(&4));
+        assert_eq!(stacks.values().sum::<u64>(), 16);
+        // Determinism: same tracer, same samples.
+        assert_eq!(stacks, t.sample_stacks(0.5));
+    }
+
+    #[test]
+    fn histogram_percentile_empty_and_overflow() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.percentile(0.5), None);
+        assert!(h.summary().is_none());
+
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(5.0);
+        h.observe(1e9); // overflow bucket
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(0.5), Some(10.0));
+        // Overflow observations saturate to the last finite bound.
+        assert_eq!(h.percentile(1.0), Some(10.0));
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 10.0);
+        assert_eq!(s.p99, 10.0);
+        assert!((s.mean - (0.5 + 5.0 + 5.0 + 1e9) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn registry_snapshot_exports_percentiles() {
+        let mut m = MetricsRegistry::new();
+        m.observe("msa.search_seconds", 3.0, &[1.0, 10.0, 100.0]);
+        m.observe("msa.search_seconds", 30.0, &[1.0, 10.0, 100.0]);
+        let j = m.to_json();
+        let h = j
+            .get("histograms")
+            .and_then(|o| o.get("msa.search_seconds"))
+            .expect("histogram present");
+        assert_eq!(h.get("p50").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(h.get("p99").and_then(Json::as_f64), Some(100.0));
+        assert!(m.render_text().contains("p50 10 p90 100 p99 100"));
     }
 }

@@ -118,8 +118,9 @@ impl SymbolStats {
 
     /// Scale the counters that came from the sampled access loop
     /// (everything except instructions/branches/faults/base cycles, which
-    /// are exact).
-    pub(crate) fn scale_sampled(&mut self, inv_rate: f64) {
+    /// are exact). Public so profiling layers can undo or re-apply a
+    /// sampling rate when combining reports taken at different rates.
+    pub fn scale_sampled(&mut self, inv_rate: f64) {
         let s = |v: u64| (v as f64 * inv_rate).round() as u64;
         self.accesses = s(self.accesses);
         self.l1_misses = s(self.l1_misses);

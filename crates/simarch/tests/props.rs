@@ -1,9 +1,10 @@
 //! Property-based tests for the architecture simulator.
 
-use afsb_rt::check::{run, Config};
+use afsb_rt::check::{run, Config, Gen};
 use afsb_simarch::branch::GsharePredictor;
 use afsb_simarch::cache::Cache;
 use afsb_simarch::config::{CacheLevelConfig, PlatformSpec, TlbConfig};
+use afsb_simarch::perf::SymbolStats;
 use afsb_simarch::tlb::Dtlb;
 use afsb_simarch::trace::{AccessPattern, Region, Segment, ThreadProgram, WeightedPattern};
 use afsb_simarch::SimEngine;
@@ -144,5 +145,87 @@ fn engine_more_work_never_faster() {
         let small = engine.run(&mk(instr), 3);
         let large = engine.run(&mk(instr * 2), 3);
         assert!(large.wall_cycles > small.wall_cycles);
+    });
+}
+
+fn arbitrary_stats(g: &mut Gen) -> SymbolStats {
+    // Zero is a deliberately common draw: the NaN-guard properties below
+    // only bite when denominators (accesses, llc_accesses, branches,
+    // cycles) are exactly zero.
+    let field = |g: &mut Gen| {
+        if g.bool() {
+            0
+        } else {
+            g.range(0u64..1_000_000)
+        }
+    };
+    SymbolStats {
+        instructions: field(g),
+        accesses: field(g),
+        l1_misses: field(g),
+        l2_misses: field(g),
+        llc_accesses: field(g),
+        llc_misses: field(g),
+        tlb_l1_misses: field(g),
+        tlb_walks: field(g),
+        branches: field(g),
+        mispredicts: field(g),
+        page_faults: field(g),
+        base_cycles: field(g),
+        stall_cycles: field(g),
+    }
+}
+
+fn merged(mut a: SymbolStats, b: &SymbolStats) -> SymbolStats {
+    a.merge(b);
+    a
+}
+
+#[test]
+fn symbol_stats_merge_is_commutative_and_associative() {
+    run(
+        "symbol_stats_merge_is_commutative_and_associative",
+        Config::cases(128),
+        |g| {
+            let a = arbitrary_stats(g);
+            let b = arbitrary_stats(g);
+            let c = arbitrary_stats(g);
+            assert_eq!(merged(a, &b), merged(b, &a));
+            assert_eq!(
+                merged(merged(a, &b), &c),
+                merged(a, &merged(b, &c)),
+                "merge must be associative field-by-field"
+            );
+        },
+    );
+}
+
+#[test]
+fn symbol_stats_ratios_never_nan() {
+    run("symbol_stats_ratios_never_nan", Config::cases(128), |g| {
+        let mut s = arbitrary_stats(g);
+        // Exercise the sampled-counter rescale too: an inverse rate of 0
+        // zeroes every sampled denominator, the worst case for ratios.
+        if g.bool() {
+            let inv_rate = *g.pick(&[0.0, 0.25, 1.0, 7.5]);
+            s.scale_sampled(inv_rate);
+        }
+        let ratios = [
+            ("l1_miss_ratio", s.l1_miss_ratio()),
+            ("llc_miss_ratio", s.llc_miss_ratio()),
+            ("tlb_miss_ratio", s.tlb_miss_ratio()),
+            ("tlb_reload_ratio", s.tlb_reload_ratio()),
+            ("branch_miss_ratio", s.branch_miss_ratio()),
+            ("cache_miss_ref_pct", s.cache_miss_ref_pct()),
+            ("cache_miss_per_kinst", s.cache_miss_per_kinst()),
+            ("ipc", s.ipc()),
+        ];
+        for (name, v) in ratios {
+            assert!(v.is_finite(), "{name} produced a non-finite value: {v}");
+            assert!(v >= 0.0, "{name} went negative: {v}");
+        }
+        let zeroed = SymbolStats::default();
+        assert_eq!(zeroed.tlb_miss_ratio(), 0.0);
+        assert_eq!(zeroed.cache_miss_ref_pct(), 0.0);
     });
 }

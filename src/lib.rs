@@ -5,6 +5,7 @@ pub use afsb_core as core;
 pub use afsb_gpu as gpu;
 pub use afsb_hmmer as hmmer;
 pub use afsb_model as model;
+pub use afsb_perf as perf;
 pub use afsb_rt as rt;
 pub use afsb_seq as seq;
 pub use afsb_simarch as simarch;
