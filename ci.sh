@@ -44,7 +44,7 @@ run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 # show up as an intentional update to results/quick/, not silently.
 golden_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
-GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage)
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve)
 run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
 for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
     run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
@@ -60,5 +60,14 @@ run cmp "$golden_dir/perf-a/BENCH_pipeline.json" "$golden_dir/perf-b/BENCH_pipel
 run target/release/afsysbench perf-diff results/BENCH_pipeline.json "$golden_dir/perf-a/BENCH_pipeline.json"
 run target/release/afsysbench profile msa-sweep --quick --out "$golden_dir/perf-a" > /dev/null
 run target/release/afsysbench perf-diff results/BENCH_msa_sweep.json "$golden_dir/perf-a/BENCH_msa_sweep.json"
+
+# Serving determinism + regression gate: two same-seed serve profiles
+# must be byte-identical, and the fresh profile must stay within
+# tolerance of the committed baseline (throughput, latency percentiles,
+# hit rate, occupancy per scenario).
+run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-b" > /dev/null
+run cmp "$golden_dir/perf-a/BENCH_serve.json" "$golden_dir/perf-b/BENCH_serve.json"
+run target/release/afsysbench perf-diff results/BENCH_serve.json "$golden_dir/perf-a/BENCH_serve.json"
 
 echo "==> tier-1 gate passed"

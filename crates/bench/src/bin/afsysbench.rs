@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! afsysbench <experiment...|all> [--quick] [--out DIR]
-//! afsysbench profile <pipeline|msa-sweep>... [--quick] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep|serve>... [--quick] [--out DIR]
 //! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
@@ -12,6 +12,10 @@
 //! trace-event JSON for Perfetto / `chrome://tracing`) plus a
 //! `.flame.txt` collapsed-stack sibling; `AFSB_TRACE=<path>` overrides
 //! the trace path. Fixed seed, byte-identical artifacts on every run.
+//!
+//! The `serve` experiment runs the canonical multi-query serving
+//! scenarios (MSA feature cache and GPU batching ablations) and prints
+//! the cross-scenario throughput/latency summary.
 //!
 //! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
 //! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
@@ -47,6 +51,7 @@ const EXPERIMENTS: &[&str] = &[
     "estimator",
     "recommend",
     "trace",
+    "serve",
 ];
 
 fn usage() -> ! {
@@ -83,6 +88,7 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "ablation-storage" => harness.ablation_storage(),
         "estimator" => harness.estimator(),
         "recommend" => harness.recommend(),
+        "serve" => harness.serve(),
         "trace" => {
             let (mut text, trace, flame) = harness.trace(17);
             let trace_path = PathBuf::from(

@@ -21,6 +21,7 @@ pub struct Harness {
     ctx: BenchContext,
     msa_options: MsaPhaseOptions,
     model: ModelConfig,
+    quick: bool,
 }
 
 impl Default for Harness {
@@ -46,6 +47,7 @@ impl Harness {
             ctx: BenchContext::new(config),
             msa_options,
             model: ModelConfig::paper(),
+            quick,
         }
     }
 
@@ -643,5 +645,12 @@ impl Harness {
         text.push('\n');
         text.push_str(&obs.metrics.render_text());
         (text, obs.chrome_trace_text(), obs.tracer.flamegraph())
+    }
+
+    /// Multi-query serving: the canonical scenario set (feature-cache
+    /// and GPU-batching ablations) on the Server.
+    pub fn serve(&self) -> String {
+        let runs = afsb_serve::scenario::run_default(self.quick);
+        afsb_serve::scenario::render_summary(&runs)
     }
 }

@@ -31,9 +31,27 @@ fn unknown_experiment_exits_2_and_lists_available() {
         "{stderr}"
     );
     assert!(
-        stderr.contains("table1") && stderr.contains("fig5") && stderr.contains("trace"),
+        stderr.contains("table1")
+            && stderr.contains("fig5")
+            && stderr.contains("trace")
+            && stderr.contains("serve"),
         "usage must list the available experiments:\n{stderr}"
     );
+}
+
+#[test]
+fn serve_experiment_is_byte_identical_across_runs() {
+    let dir = temp_dir("serve");
+    let a = afsysbench(&["serve", "--quick"], &dir);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(
+        stdout.contains("queries/h") && stdout.contains("warm_b1"),
+        "{stdout}"
+    );
+    let b = afsysbench(&["serve", "--quick"], &dir);
+    assert_eq!(a.stdout, b.stdout, "same-seed serve runs must be identical");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -126,7 +126,30 @@ impl RetryPolicy {
     /// The jitter is drawn from `(seed, attempt)` alone, so the same
     /// schedule always replays identically.
     pub fn backoff_seconds(&self, attempt: u32, seed: u64) -> f64 {
-        let exp = self.base_backoff_s * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        debug_assert!(attempt >= 1, "retry attempts are 1-based");
+        let n = attempt.max(1) - 1;
+        // `multiplier.powi` overflows to `inf` long before large attempt
+        // numbers reach the cap. Once the uncapped backoff would pass the
+        // ceiling the schedule is constant, so short-circuit to `cap_s`
+        // instead of evaluating the power.
+        let exp = if self.base_backoff_s <= 0.0 {
+            0.0
+        } else if self.multiplier > 1.0 {
+            let steps_to_cap = (self.cap_s.max(f64::MIN_POSITIVE) / self.base_backoff_s)
+                .ln()
+                .max(0.0)
+                / self.multiplier.ln();
+            if n as f64 >= steps_to_cap {
+                self.cap_s
+            } else {
+                self.base_backoff_s * self.multiplier.powi(n as i32)
+            }
+        } else {
+            // Non-growing multipliers only shrink with `n`; powi
+            // underflows safely toward zero.
+            let n = i32::try_from(n).unwrap_or(i32::MAX);
+            self.base_backoff_s * self.multiplier.powi(n)
+        };
         let capped = exp.min(self.cap_s);
         let mut rng = Rng::seed_from_u64(mix(seed, 0xB0FF ^ attempt as u64));
         capped * (1.0 + self.jitter_fraction * rng.gen_range(0.0..1.0))

@@ -3,6 +3,7 @@
 use afsb_core::calib::{MsaCostModel, MsaPatternModel};
 use afsb_core::context::{ChainSearch, SampleSearchData};
 use afsb_core::msa_phase::{run_msa_phase, MsaPhaseOptions};
+use afsb_core::resilience::RetryPolicy;
 use afsb_core::MemoryEstimator;
 use afsb_hmmer::{jackhmmer, nhmmer};
 use afsb_rt::check::{run, Config};
@@ -157,6 +158,52 @@ fn estimator_oom_prediction_matches_simulated_admission() {
     for rna_len in [621, 935, 1135, 1335] {
         assert_estimate_matches_simulation(rna_len);
     }
+}
+
+#[test]
+fn backoff_schedule_finite_nondecreasing_and_capped() {
+    run(
+        "backoff_schedule_finite_nondecreasing_and_capped",
+        Config::cases(64),
+        |g| {
+            let policy = RetryPolicy {
+                max_retries: 3,
+                base_backoff_s: g.range(0.01f64..120.0),
+                multiplier: g.range(1.0f64..8.0),
+                cap_s: g.range(0.5f64..600.0),
+                jitter_fraction: g.range(0.0f64..0.5),
+            };
+            let no_jitter = RetryPolicy {
+                jitter_fraction: 0.0,
+                ..policy
+            };
+            let seed = g.range(0u64..u64::MAX);
+            let ceiling = policy.cap_s * (1.0 + policy.jitter_fraction) + 1e-9;
+            let mut attempts: Vec<u32> = (1..=128).collect();
+            attempts.extend([256, 512, 1024, 4096, 10_000]);
+            let mut prev = 0.0f64;
+            for attempt in attempts {
+                let jittered = policy.backoff_seconds(attempt, seed);
+                assert!(
+                    jittered.is_finite(),
+                    "attempt {attempt}: backoff {jittered} not finite ({policy:?})"
+                );
+                assert!(
+                    jittered <= ceiling,
+                    "attempt {attempt}: backoff {jittered} above cap·(1+jitter) = {ceiling}"
+                );
+                // The un-jittered schedule is nondecreasing; jitter only
+                // ever adds a bounded fraction on top.
+                let bare = no_jitter.backoff_seconds(attempt, seed);
+                assert!(
+                    bare >= prev - 1e-12,
+                    "attempt {attempt}: schedule decreased {prev} -> {bare}"
+                );
+                assert!(jittered >= bare - 1e-12);
+                prev = bare;
+            }
+        },
+    );
 }
 
 #[test]

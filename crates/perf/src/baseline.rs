@@ -279,6 +279,11 @@ pub struct DiffTolerances {
     pub wall_rel: f64,
     /// Allowed relative drift of other derived metrics (two-sided).
     pub metric_rel: f64,
+    /// Absolute floor of the non-wall metric band: a metric is flagged
+    /// when `|cur − base| > max(metric_abs, metric_rel · |base|)`. The
+    /// floor keeps zero-baseline metrics from flagging on sub-noise
+    /// drift while still catching a real zero→nonzero regression.
+    pub metric_abs: f64,
     /// Allowed absolute drift of a sampled top-N share.
     pub sampled_abs: f64,
 }
@@ -290,6 +295,7 @@ impl Default for DiffTolerances {
             cycle_share_rel: 0.08,
             wall_rel: 0.05,
             metric_rel: 0.15,
+            metric_abs: 0.01,
             sampled_abs: 0.03,
         }
     }
@@ -402,18 +408,47 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
                     (1.0 - cur / base) * 100.0
                 ));
             }
-        } else if (cur - base).abs() > tol.metric_rel * base.abs() + 1e-9 {
+        } else if (cur - base).abs() > tol.metric_abs.max(tol.metric_rel * base.abs()) {
             report.regressions.push(Finding {
                 name: name.clone(),
                 baseline: *base,
                 current: cur,
-                detail: format!("metric drifted beyond ±{:.0}%", tol.metric_rel * 100.0),
+                detail: format!(
+                    "metric drifted beyond max(±{:.3}, ±{:.0}%)",
+                    tol.metric_abs,
+                    tol.metric_rel * 100.0
+                ),
+            });
+        }
+    }
+
+    // Metrics only the current profile has are regressions too: a renamed
+    // or newly added metric (wall.* included) must force a re-baseline,
+    // not sail through because the baseline never knew its name.
+    for (name, cur) in &current.metrics {
+        if baseline.metric(name).is_none() {
+            report.compared += 1;
+            report.regressions.push(Finding {
+                name: name.clone(),
+                baseline: f64::NAN,
+                current: *cur,
+                detail: "metric missing from baseline (new or renamed; re-baseline to accept)"
+                    .into(),
             });
         }
     }
 
     for table in &baseline.symbol_tables {
         let cur_table = current.table(&table.name);
+        if cur_table.is_none() {
+            report.compared += 1;
+            report.regressions.push(Finding {
+                name: table.name.clone(),
+                baseline: table.rows.len() as f64,
+                current: 0.0,
+                detail: "symbol table missing from current profile".into(),
+            });
+        }
         for row in &table.rows {
             report.compared += 1;
             let path = format!("{}/{}", table.name, row.symbol);
@@ -456,6 +491,21 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
                     });
                 }
             }
+        }
+    }
+
+    // Whole tables only the current profile has (the per-row pass above
+    // can only see tables the baseline already names).
+    for table in &current.symbol_tables {
+        if baseline.table(&table.name).is_none() {
+            report.compared += 1;
+            report.regressions.push(Finding {
+                name: table.name.clone(),
+                baseline: 0.0,
+                current: table.rows.len() as f64,
+                detail: "symbol table missing from baseline (new table; re-baseline to accept)"
+                    .into(),
+            });
         }
     }
 
@@ -569,6 +619,68 @@ mod tests {
         let d = diff(&b, &fast, &DiffTolerances::default());
         assert!(d.passed());
         assert!(!d.notes.is_empty());
+    }
+
+    #[test]
+    fn current_only_metric_fails_and_is_named() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.metrics.push(("wall.sneaky_s".into(), 42.0));
+        let d = diff(&b, &cur, &DiffTolerances::default());
+        assert!(!d.passed());
+        let rendered = d.render();
+        assert!(
+            rendered.contains("wall.sneaky_s") && rendered.contains("missing from baseline"),
+            "current-only metric must be named:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn symbol_table_missing_from_either_side_fails() {
+        let b = baseline();
+        let mut gone = b.clone();
+        gone.symbol_tables.clear();
+        let d = diff(&b, &gone, &DiffTolerances::default());
+        assert!(!d.passed());
+        assert!(
+            d.render().contains("missing from current profile"),
+            "{}",
+            d.render()
+        );
+
+        let mut added = b.clone();
+        added.symbol_tables.push(SymbolTable {
+            name: "gpu".into(),
+            rows: vec![row("attn_kernel", 0.4)],
+        });
+        let d = diff(&b, &added, &DiffTolerances::default());
+        assert!(!d.passed());
+        let rendered = d.render();
+        assert!(
+            rendered.contains("gpu") && rendered.contains("missing from baseline"),
+            "current-only table must be named:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn zero_baseline_metric_uses_absolute_floor() {
+        let mut b = baseline();
+        b.metrics.push(("derived.uvm_fraction".into(), 0.0));
+        let mut small = b.clone();
+        small.metrics.last_mut().unwrap().1 = 0.005; // within metric_abs = 0.01
+        assert!(
+            diff(&b, &small, &DiffTolerances::default()).passed(),
+            "sub-floor drift off a zero baseline must pass"
+        );
+        let mut big = b.clone();
+        big.metrics.last_mut().unwrap().1 = 0.02; // beyond the floor
+        let d = diff(&b, &big, &DiffTolerances::default());
+        assert!(!d.passed());
+        assert!(
+            d.render().contains("derived.uvm_fraction"),
+            "{}",
+            d.render()
+        );
     }
 
     #[test]

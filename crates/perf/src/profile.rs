@@ -2,15 +2,18 @@
 //! every report engine, and fold the result into a [`PerfBaseline`]
 //! ready to serialize as `BENCH_<experiment>.json`.
 //!
-//! Two experiments are profiled:
+//! Three experiments are profiled:
 //!
 //! * `pipeline` — the end-to-end S2pv7 run on the Server (the paper's
 //!   headline workload), yielding Tables III–V, the sampled profile,
 //!   and the iostat timeline.
 //! * `msa-sweep` — the S6qnr MSA thread sweep (Fig. 5), yielding per
 //!   thread-count wall/CPU/I/O metrics plus the 4-thread symbol table.
+//! * `serve` — the canonical multi-query serving scenarios (feature
+//!   cache and GPU batching ablations), yielding per-scenario
+//!   throughput, latency percentiles, hit rate and occupancy.
 //!
-//! Both are fully deterministic: the same seed and mode produce a
+//! All are fully deterministic: the same seed and mode produce a
 //! byte-identical baseline file.
 
 use crate::baseline::{PerfBaseline, SampledSummary, SymbolTable};
@@ -29,7 +32,7 @@ use afsb_simarch::Platform;
 use std::fmt::Write as _;
 
 /// Experiments `afsysbench profile` understands.
-pub const PROFILE_EXPERIMENTS: [&str; 2] = ["pipeline", "msa-sweep"];
+pub const PROFILE_EXPERIMENTS: [&str; 3] = ["pipeline", "msa-sweep", "serve"];
 
 /// Seed shared by the profiled runs (matches the bench harness).
 pub const PROFILE_SEED: u64 = 17;
@@ -60,6 +63,7 @@ pub fn run_profile(experiment: &str, quick: bool) -> Result<ProfileArtifacts, St
     match experiment {
         "pipeline" => Ok(profile_pipeline(quick)),
         "msa-sweep" => Ok(profile_msa_sweep(quick)),
+        "serve" => Ok(profile_serve(quick)),
         other => Err(format!(
             "unknown profile experiment `{other}` (available: {})",
             PROFILE_EXPERIMENTS.join(", ")
@@ -240,6 +244,50 @@ pub fn profile_msa_sweep(quick: bool) -> ProfileArtifacts {
     }
 }
 
+/// Profile the canonical serving scenarios (Server, quick or full
+/// stream). Metrics are prefixed per scenario (`cold.qph`, …); the
+/// sampled profile covers the cold scenario's trace.
+pub fn profile_serve(quick: bool) -> ProfileArtifacts {
+    let runs = afsb_serve::scenario::run_default(quick);
+
+    let mut metrics = Vec::new();
+    for run in &runs {
+        let r = &run.report;
+        let p = run.name;
+        metrics.push((format!("{p}.qph"), r.throughput_qph));
+        metrics.push((format!("wall.{p}_makespan_s"), r.makespan_s));
+        metrics.push((format!("{p}.cache_hit_rate"), r.cache_hit_rate));
+        metrics.push((format!("{p}.gpu_occupancy"), r.gpu_occupancy));
+        metrics.push((format!("{p}.gpu_batches"), r.batches as f64));
+        metrics.push((format!("{p}.deadline_missed"), r.deadline_missed as f64));
+        if let Some(l) = &r.latency {
+            metrics.push((format!("{p}.latency_p50_s"), l.p50));
+            metrics.push((format!("{p}.latency_p90_s"), l.p90));
+            metrics.push((format!("{p}.latency_p99_s"), l.p99));
+        }
+    }
+
+    let cold = runs.first().expect("canonical scenario set is non-empty");
+    let sampled = SampledProfile::capture_n(&cold.obs.tracer, DEFAULT_SAMPLES);
+
+    let mut report_text = afsb_serve::scenario::render_summary(&runs);
+    report_text.push('\n');
+    report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    ProfileArtifacts {
+        baseline: PerfBaseline {
+            experiment: "serve".to_owned(),
+            seed: afsb_serve::scenario::SERVE_SEED,
+            quick,
+            metrics,
+            symbol_tables: Vec::new(),
+            sampled: SampledSummary::from_profile(&sampled, SAMPLED_TOP_N),
+        },
+        report_text,
+        collapsed: sampled.collapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +306,30 @@ mod tests {
     fn baseline_file_names_are_underscored() {
         assert_eq!(baseline_file_name("pipeline"), "BENCH_pipeline.json");
         assert_eq!(baseline_file_name("msa-sweep"), "BENCH_msa_sweep.json");
+        assert_eq!(baseline_file_name("serve"), "BENCH_serve.json");
+    }
+
+    #[test]
+    fn quick_serve_profile_covers_every_scenario() {
+        let a = profile_serve(true);
+        for scenario in ["cold", "nocache", "warm", "warm_b1"] {
+            let qph = a
+                .baseline
+                .metric(&format!("{scenario}.qph"))
+                .unwrap_or_else(|| panic!("{scenario}.qph missing"));
+            assert!(qph > 0.0, "{scenario}.qph = {qph}");
+            assert!(a
+                .baseline
+                .metric(&format!("wall.{scenario}_makespan_s"))
+                .is_some());
+            assert!(a
+                .baseline
+                .metric(&format!("{scenario}.latency_p99_s"))
+                .is_some());
+        }
+        assert!(a.baseline.sampled.total_samples > 0);
+        assert!(a.report_text.contains("queries/h"));
+        assert!(a.collapsed.contains("gpu_batch"));
     }
 
     #[test]

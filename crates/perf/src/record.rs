@@ -178,6 +178,31 @@ mod tests {
     }
 
     #[test]
+    fn trace_shorter_than_one_interval_yields_empty_profile_without_nan() {
+        // Interval longer than the whole trace: the midpoint probe never
+        // lands inside a span, so the profile is empty — and the share
+        // math must not divide by the zero sample count.
+        let t = tiled_tracer(); // extent 10 s
+        let p = SampledProfile::capture(&t, 100.0);
+        assert_eq!(p.total_samples(), 0);
+        assert!(p.leaf_shares().is_empty());
+        assert_eq!(p.leaf_share("hot"), 0.0);
+        assert!(p.leaf_share("hot").is_finite());
+        assert!(p.render_top(3).contains("0 samples"));
+
+        // capture_n on a zero-extent trace (a lone zero-duration span)
+        // takes the empty-profile path rather than a 0-second interval.
+        let mut z = Tracer::new();
+        z.begin("run");
+        z.closed_span("instantaneous", 0.0, 0.0);
+        z.end();
+        let p = SampledProfile::capture_n(&z, 1000);
+        assert_eq!(p.total_samples(), 0);
+        assert!(p.leaf_shares().is_empty());
+        assert!(p.leaf_share("instantaneous").is_finite());
+    }
+
+    #[test]
     fn capture_n_hits_target_and_empty_trace_is_empty() {
         let p = SampledProfile::capture_n(&tiled_tracer(), 1000);
         assert!(

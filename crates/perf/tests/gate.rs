@@ -127,6 +127,36 @@ fn perf_diff_passes_unchanged_and_fails_on_injected_regression() {
 }
 
 #[test]
+fn perf_diff_fails_on_current_only_wall_metric_and_table() {
+    let baseline = &pipeline_profile().baseline;
+    let tol = DiffTolerances::default();
+
+    // A wall.* metric that exists only in the current profile used to
+    // sail through the gate (the diff iterated baseline.metrics only).
+    let mut renamed = baseline.clone();
+    renamed.metrics.push(("wall.phantom_s".into(), 123.0));
+    let d = diff(baseline, &renamed, &tol);
+    assert!(!d.passed(), "current-only wall.* metric must fail the gate");
+    assert!(
+        d.render().contains("wall.phantom_s"),
+        "offending metric must be named:\n{}",
+        d.render()
+    );
+
+    // Same blind spot for whole symbol tables.
+    let mut extra_table = baseline.clone();
+    extra_table
+        .symbol_tables
+        .push(afsb_perf::baseline::SymbolTable {
+            name: "phantom".into(),
+            rows: baseline.symbol_tables[0].rows.clone(),
+        });
+    let d = diff(baseline, &extra_table, &tol);
+    assert!(!d.passed(), "current-only symbol table must fail the gate");
+    assert!(d.render().contains("phantom"), "{}", d.render());
+}
+
+#[test]
 fn real_baseline_round_trips_through_json() {
     let baseline = &pipeline_profile().baseline;
     let text = baseline.to_json().pretty();

@@ -974,6 +974,33 @@ mod tests {
     }
 
     #[test]
+    fn histogram_percentile_single_sample_and_overflow_only() {
+        // A single sample answers every percentile — including p = 0.0,
+        // whose rank still clamps up to the first observation.
+        let mut single = Histogram::new(&[1.0, 10.0, 100.0]);
+        single.observe(7.0);
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.percentile(p), Some(10.0), "p = {p}");
+        }
+        let s = single.summary().expect("non-empty");
+        assert_eq!((s.count, s.p50, s.p99), (1, 10.0, 10.0));
+        assert!((s.mean - 7.0).abs() < 1e-12);
+
+        // All mass in the overflow bucket: every percentile saturates to
+        // the last finite bound instead of indexing out of `bounds`.
+        let mut overflow = Histogram::new(&[1.0, 10.0]);
+        for _ in 0..3 {
+            overflow.observe(1e6);
+        }
+        for p in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(overflow.percentile(p), Some(10.0), "p = {p}");
+        }
+        let s = overflow.summary().expect("non-empty");
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
     fn registry_snapshot_exports_percentiles() {
         let mut m = MetricsRegistry::new();
         m.observe("msa.search_seconds", 3.0, &[1.0, 10.0, 100.0]);

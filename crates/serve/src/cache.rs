@@ -1,0 +1,177 @@
+//! The content-addressed MSA feature cache.
+//!
+//! AF_Cache's observation, expressed on our cost model: MSA features
+//! depend only on the query content, so a repeated entity can load its
+//! feature file from NVMe instead of re-running hours of jackhmmer /
+//! nhmmer. The cache is keyed by entity identity (the workload's
+//! content address), capacity-bounded in bytes, and evicts least
+//! recently used entries. Hit/miss/eviction counters are published
+//! through `rt::obs` by the server.
+//!
+//! A hit charges only the storage-priced feature load (the server
+//! computes it from the platform's sequential-read bandwidth); a miss
+//! pays the full CPU phase. Concurrent misses for the same entity are
+//! *not* coalesced — like the real systems, two in-flight requests for
+//! an uncached entity both run the search, and the second insert just
+//! refreshes the entry.
+
+/// A capacity-bounded LRU cache of MSA feature files.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    capacity_bytes: u64,
+    /// `(entity, bytes)`, least recently used first.
+    entries: Vec<(usize, u64)>,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `capacity_bytes` of feature files
+    /// (`0` disables caching entirely).
+    pub fn new(capacity_bytes: u64) -> FeatureCache {
+        FeatureCache {
+            capacity_bytes,
+            ..FeatureCache::default()
+        }
+    }
+
+    /// Look up an entity, counting a hit or miss and refreshing
+    /// recency on hit.
+    pub fn lookup(&mut self, entity: usize) -> bool {
+        match self.entries.iter().position(|&(e, _)| e == entity) {
+            Some(i) => {
+                let entry = self.entries.remove(i);
+                self.entries.push(entry);
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entity's feature file, evicting LRU
+    /// entries until it fits. A file larger than the whole cache is
+    /// not admitted.
+    pub fn insert(&mut self, entity: usize, file_bytes: u64) {
+        if let Some(i) = self.entries.iter().position(|&(e, _)| e == entity) {
+            let (_, old) = self.entries.remove(i);
+            self.bytes -= old;
+        }
+        if file_bytes > self.capacity_bytes {
+            return;
+        }
+        while self.bytes + file_bytes > self.capacity_bytes {
+            let (_, evicted) = self.entries.remove(0);
+            self.bytes -= evicted;
+            self.evictions += 1;
+        }
+        self.entries.push((entity, file_bytes));
+        self.bytes += file_bytes;
+    }
+
+    /// Whether the entity is currently cached (no counter side effects).
+    pub fn contains(&self, entity: usize) -> bool {
+        self.entries.iter().any(|&(e, _)| e == entity)
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hits over lookups (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting_and_recency() {
+        let mut c = FeatureCache::new(100);
+        assert!(!c.lookup(1));
+        c.insert(1, 40);
+        assert!(c.lookup(1));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.bytes(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut c = FeatureCache::new(100);
+        c.insert(1, 40);
+        c.insert(2, 40);
+        assert!(c.lookup(1)); // 2 is now LRU
+        c.insert(3, 40); // must evict 2, not 1
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.bytes(), 80);
+    }
+
+    #[test]
+    fn refresh_does_not_double_count_bytes() {
+        let mut c = FeatureCache::new(100);
+        c.insert(1, 40);
+        c.insert(1, 60); // concurrent-miss refresh with a new size
+        assert_eq!(c.bytes(), 60);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_and_oversized_files_skip() {
+        let mut c = FeatureCache::new(0);
+        c.insert(1, 1);
+        assert!(c.is_empty());
+        assert!(!c.lookup(1));
+
+        let mut c = FeatureCache::new(50);
+        c.insert(1, 40);
+        c.insert(2, 80); // larger than capacity: not admitted
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.evictions(), 0, "an oversized file must not evict");
+    }
+}

@@ -1,0 +1,764 @@
+//! The phase-decoupled serving scheduler.
+//!
+//! ParaFold's architecture on our cost model: the CPU-side MSA phase
+//! and the GPU-side inference phase run as separate queues so neither
+//! resource idles waiting for the other.
+//!
+//! - **CPU pool** — `cpu_workers` workers drain MSA jobs FCFS (earliest
+//!   free worker wins, lowest index breaks ties). A cache hit skips the
+//!   pool entirely and charges only the storage-priced feature load.
+//! - **GPU queue** — requests whose features are ready queue for the
+//!   GPU, which greedily takes up to `gpu_batch` ready requests per
+//!   dispatch. The first batch pays the cold runtime init (driver,
+//!   imports, weights load — Fig. 8's dominant slice); each *shape*
+//!   (benchmark sample) pays `xla_compile` once, on its first
+//!   appearance; each batch pays one warm dispatch setup; each request
+//!   pays its kernel-execution seconds. That is exactly the
+//!   amortization Fig. 8 and the persistent-session ablation price for
+//!   a single query, applied across a stream.
+//! - **Admission & deadlines** — the §VI estimator verdict rejects
+//!   shapes whose paper-scale MSA peak cannot fit the platform
+//!   (reusing [`CapacityModel`]), and every served request is checked
+//!   against a per-request [`Deadline`].
+//!
+//! The simulation is a deterministic discrete-event sweep on simulated
+//! seconds: same seed, same config, byte-identical report.
+
+use crate::cache::FeatureCache;
+use crate::workload::{self, Request, WorkloadConfig};
+use afsb_core::calib;
+use afsb_core::context::{BenchContext, ContextConfig};
+use afsb_core::inference_phase::gpu_for;
+use afsb_core::msa_phase::{run_msa_phase, MsaPhaseOptions};
+use afsb_core::resilience::Deadline;
+use afsb_gpu::runtime::{GpuRuntime, HostCpuModel};
+use afsb_model::{run_inference, ModelConfig};
+use afsb_rt::obs::{Histogram, HistogramSummary, ObsSession};
+use afsb_seq::samples::SampleId;
+use afsb_simarch::config::GIB;
+use afsb_simarch::memory::CapacityModel;
+use afsb_simarch::Platform;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Latency histogram bucket bounds (simulated seconds): sub-minute for
+/// warm cache+session hits through multi-day for queued cold misses.
+pub const LATENCY_BOUNDS: [f64; 16] = [
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0, 14400.0, 43200.0,
+    86400.0, 259200.0,
+];
+
+/// Fixed per-file open/seek overhead of a cached-feature load.
+const FEATURE_LOAD_BASE_S: f64 = 0.05;
+
+/// Bytes per (MSA row × residue) cell of a serialized feature file.
+const FEATURE_CELL_BYTES: u64 = 16;
+
+/// Serving-simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Platform served on.
+    pub platform: Platform,
+    /// The request stream.
+    pub workload: WorkloadConfig,
+    /// MSA worker-pool width (concurrent MSA jobs).
+    pub cpu_workers: usize,
+    /// GPU batch size B (requests per dispatch).
+    pub gpu_batch: usize,
+    /// Feature-cache capacity in bytes (`0` disables caching).
+    pub cache_capacity_bytes: u64,
+    /// Start with every catalog entity's features cached (steady-state
+    /// serving) instead of an empty cache (cold start).
+    pub prewarm_cache: bool,
+    /// Per-request latency deadline.
+    pub deadline: Deadline,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            platform: Platform::Server,
+            workload: WorkloadConfig::default(),
+            cpu_workers: 4,
+            gpu_batch: 4,
+            cache_capacity_bytes: 64 * GIB,
+            prewarm_cache: false,
+            deadline: Deadline::new(Some(3.0 * 86400.0)),
+        }
+    }
+}
+
+/// Priced costs of one request shape (one benchmark sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeCost {
+    /// Full MSA-phase wall seconds on a pool worker.
+    pub msa_s: f64,
+    /// Serialized MSA feature-file size.
+    pub feature_bytes: u64,
+    /// Seconds to load the feature file from NVMe on a cache hit.
+    pub feature_load_s: f64,
+    /// Paper-scale MSA peak memory (drives admission).
+    pub peak_msa_bytes: u64,
+    /// Whether the §VI admission check lets the shape run.
+    pub admitted: bool,
+    /// One-time XLA compilation seconds for the shape.
+    pub compile_s: f64,
+    /// Kernel-execution seconds per request.
+    pub compute_s: f64,
+}
+
+/// Priced costs for every shape plus the process-wide constants.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    /// Platform the table was priced on.
+    pub platform: Platform,
+    /// MSA threads per pool worker used for pricing and admission.
+    pub msa_threads: usize,
+    /// One-time cold runtime init (first batch only).
+    pub init_s: f64,
+    /// Warm dispatch setup + output writeback per batch.
+    pub dispatch_s: f64,
+    /// Per-shape costs.
+    pub shapes: BTreeMap<SampleId, ShapeCost>,
+}
+
+impl CostTable {
+    /// Price every benchmark shape on `platform`. `quick` selects the
+    /// test-scale databases and sampling budget (same split as the
+    /// bench harness); `msa_threads` is the per-worker thread count.
+    pub fn build(platform: Platform, quick: bool, msa_threads: usize, seed: u64) -> CostTable {
+        let (config, sample_cap) = if quick {
+            (ContextConfig::test(), 400_000)
+        } else {
+            (ContextConfig::bench(), 6_000_000)
+        };
+        let mut ctx = BenchContext::new(config);
+        let runtime = GpuRuntime::new(
+            gpu_for(platform),
+            HostCpuModel {
+                single_core_score: calib::host_cpu_score(platform),
+            },
+        );
+        let capacity = CapacityModel::new(&platform.spec());
+        let storage_bps = platform.spec().storage.seq_read_gibs * GIB as f64;
+
+        let mut shapes = BTreeMap::new();
+        let mut init_s = 0.0f64;
+        let mut dispatch_s = 0.0f64;
+        for &id in &SampleId::all() {
+            let data = ctx.sample_data(id);
+            let msa = run_msa_phase(
+                &data,
+                platform,
+                msa_threads,
+                &MsaPhaseOptions {
+                    sample_cap,
+                    ..MsaPhaseOptions::default()
+                },
+            );
+            let peak = data.paper_peak_msa_bytes(msa_threads);
+            let admitted = capacity.admit(peak).completes() && msa.completed();
+            let model = run_inference(
+                &data.sample.assembly,
+                data.msa_depth,
+                &ModelConfig::paper(),
+                seed,
+            );
+            let cold = runtime.run_cold(&model.cost_log, model.working_set_bytes);
+            let warm = runtime.run_warm(&model.cost_log, model.working_set_bytes);
+            init_s = cold.init_s;
+            dispatch_s = warm.init_s + warm.finalize_s;
+            let feature_bytes = data.msa_depth as u64
+                * data.sample.assembly.total_residues() as u64
+                * FEATURE_CELL_BYTES;
+            shapes.insert(
+                id,
+                ShapeCost {
+                    msa_s: msa.wall_seconds(),
+                    feature_bytes,
+                    feature_load_s: FEATURE_LOAD_BASE_S + feature_bytes as f64 / storage_bps,
+                    peak_msa_bytes: peak,
+                    admitted,
+                    compile_s: cold.xla_compile_s,
+                    compute_s: warm.gpu_compute_s,
+                },
+            );
+        }
+        CostTable {
+            platform,
+            msa_threads,
+            init_s,
+            dispatch_s,
+            shapes,
+        }
+    }
+
+    /// The cost of one shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape was never priced.
+    pub fn shape(&self, id: SampleId) -> &ShapeCost {
+        self.shapes
+            .get(&id)
+            .unwrap_or_else(|| panic!("shape {} not in the cost table", id.name()))
+    }
+}
+
+/// Per-request outcome of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// The request served.
+    pub request: Request,
+    /// Whether the MSA features came from the cache.
+    pub cache_hit: bool,
+    /// Whether admission control rejected the request.
+    pub rejected: bool,
+    /// When the features were ready (MSA done or cache load done).
+    pub ready_s: f64,
+    /// When inference completed (0 for rejected requests).
+    pub done_s: f64,
+    /// Whether the request finished past its deadline.
+    pub deadline_missed: bool,
+}
+
+impl RequestOutcome {
+    /// Arrival-to-completion latency in simulated seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.done_s - self.request.arrival_s
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The configuration served.
+    pub config: ServeConfig,
+    /// Per-request outcomes in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Served requests that missed their deadline.
+    pub deadline_missed: usize,
+    /// End-to-end makespan (last completion, at least the last arrival).
+    pub makespan_s: f64,
+    /// Throughput in queries per hour.
+    pub throughput_qph: f64,
+    /// Seconds the GPU spent busy.
+    pub gpu_busy_s: f64,
+    /// GPU busy fraction of the makespan.
+    pub gpu_occupancy: f64,
+    /// GPU dispatches issued.
+    pub batches: usize,
+    /// Distinct shapes compiled.
+    pub compiled_shapes: usize,
+    /// Feature-cache hits.
+    pub cache_hits: u64,
+    /// Feature-cache misses.
+    pub cache_misses: u64,
+    /// Feature-cache evictions.
+    pub cache_evictions: u64,
+    /// Cache hit rate over lookups.
+    pub cache_hit_rate: f64,
+    /// Latency distribution of served requests (`None` when none).
+    pub latency: Option<HistogramSummary>,
+}
+
+impl ServeReport {
+    /// Human-readable per-run report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = &self.config.workload;
+        let _ = writeln!(
+            out,
+            "serve: {} requests over {} entities on {} (workers {}, batch {}, cache {} GiB{})",
+            w.num_requests,
+            w.catalog_size,
+            self.config.platform,
+            self.config.cpu_workers,
+            self.config.gpu_batch,
+            self.config.cache_capacity_bytes / GIB,
+            if self.config.prewarm_cache {
+                ", prewarmed"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  throughput {:.2} queries/h over {:.0} s makespan ({} served, {} rejected, {} deadline-missed)",
+            self.throughput_qph, self.makespan_s, self.served, self.rejected, self.deadline_missed
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {:.1}% hit rate ({} hits / {} misses, {} evictions)",
+            self.cache_hit_rate * 100.0,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions
+        );
+        let _ = writeln!(
+            out,
+            "  gpu: {:.1}% occupancy ({:.0} s busy, {} batches, {} shapes compiled)",
+            self.gpu_occupancy * 100.0,
+            self.gpu_busy_s,
+            self.batches,
+            self.compiled_shapes
+        );
+        match &self.latency {
+            Some(l) => {
+                let _ = writeln!(
+                    out,
+                    "  latency: p50 {:.0} s  p90 {:.0} s  p99 {:.0} s  (mean {:.0} s)",
+                    l.p50, l.p90, l.p99, l.mean
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  latency: n/a (no requests served)");
+            }
+        }
+        out
+    }
+}
+
+/// Run the serving simulation. The tracer in `obs` must be fresh (the
+/// run lays its spans from simulated second 0); counters, gauges and
+/// the latency histogram are published into `obs.metrics`.
+pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) -> ServeReport {
+    assert!(config.cpu_workers > 0, "need at least one CPU worker");
+    assert!(config.gpu_batch > 0, "need a GPU batch size of at least 1");
+
+    let requests = workload::generate(&config.workload);
+    let mut cache = FeatureCache::new(config.cache_capacity_bytes);
+    if config.prewarm_cache {
+        for entity in 0..config.workload.catalog_size {
+            let shape = costs.shape(workload::sample_for_entity(entity));
+            cache.insert(entity, shape.feature_bytes);
+        }
+    }
+
+    obs.tracer.begin("serve");
+
+    // Phase 1 — MSA / cache. Features computed by a pool worker become
+    // visible to *later* arrivals only once the job is done: pending
+    // inserts are committed in completion order as the arrival sweep
+    // passes them.
+    let mut workers = vec![0.0f64; config.cpu_workers];
+    let mut pending: Vec<(f64, usize, usize, u64)> = Vec::new(); // (done, seq, entity, bytes)
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+    let mut seq = 0usize;
+    for req in &requests {
+        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        while let Some(&(done, _, entity, bytes)) = pending.first() {
+            if done > req.arrival_s {
+                break;
+            }
+            cache.insert(entity, bytes);
+            pending.remove(0);
+        }
+
+        let shape = costs.shape(req.sample);
+        if !shape.admitted {
+            outcomes.push(RequestOutcome {
+                request: *req,
+                cache_hit: false,
+                rejected: true,
+                ready_s: req.arrival_s,
+                done_s: 0.0,
+                deadline_missed: false,
+            });
+            continue;
+        }
+        let (cache_hit, ready_s) = if cache.lookup(req.entity) {
+            (true, req.arrival_s + shape.feature_load_s)
+        } else {
+            let w = workers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .expect("worker pool is non-empty");
+            let start = workers[w].max(req.arrival_s);
+            let done = start + shape.msa_s;
+            workers[w] = done;
+            pending.push((done, seq, req.entity, shape.feature_bytes));
+            seq += 1;
+            (false, done)
+        };
+        outcomes.push(RequestOutcome {
+            request: *req,
+            cache_hit,
+            rejected: false,
+            ready_s,
+            done_s: 0.0,
+            deadline_missed: false,
+        });
+    }
+
+    // Phase 2 — GPU batching over ready requests. Greedy: whenever the
+    // GPU frees up it takes every already-ready request up to B. The
+    // first dispatch pays cold init; each new shape pays its compile.
+    let mut ready: Vec<usize> = (0..outcomes.len())
+        .filter(|&i| !outcomes[i].rejected)
+        .collect();
+    ready.sort_by(|&a, &b| {
+        outcomes[a]
+            .ready_s
+            .partial_cmp(&outcomes[b].ready_s)
+            .unwrap()
+            .then(outcomes[a].request.id.cmp(&outcomes[b].request.id))
+    });
+
+    let mut gpu_free = 0.0f64;
+    let mut gpu_busy = 0.0f64;
+    let mut batches = 0usize;
+    let mut compiled: BTreeSet<SampleId> = BTreeSet::new();
+    let mut inited = false;
+    let mut i = 0usize;
+    while i < ready.len() {
+        let start = gpu_free.max(outcomes[ready[i]].ready_s);
+        let mut take = 1usize;
+        while take < config.gpu_batch
+            && i + take < ready.len()
+            && outcomes[ready[i + take]].ready_s <= start
+        {
+            take += 1;
+        }
+        let batch = &ready[i..i + take];
+
+        // Price the batch first so the enclosing span carries its full
+        // duration when created, then lay the child spans end to end.
+        let pay_init = !inited;
+        let new_shapes: Vec<SampleId> = batch
+            .iter()
+            .map(|&idx| outcomes[idx].request.sample)
+            .filter(|&s| compiled.insert(s))
+            .collect();
+        let service = if pay_init { costs.init_s } else { 0.0 }
+            + costs.dispatch_s
+            + new_shapes
+                .iter()
+                .map(|&s| costs.shape(s).compile_s)
+                .sum::<f64>()
+            + batch
+                .iter()
+                .map(|&idx| costs.shape(outcomes[idx].request.sample).compute_s)
+                .sum::<f64>();
+        let done = start + service;
+
+        let batch_span = obs.tracer.closed_span("gpu_batch", start, service);
+        let mut at = start;
+        if pay_init {
+            inited = true;
+            obs.tracer.child_span(batch_span, "init", at, costs.init_s);
+            at += costs.init_s;
+        }
+        obs.tracer
+            .child_span(batch_span, "dispatch", at, costs.dispatch_s);
+        at += costs.dispatch_s;
+        for &s in &new_shapes {
+            obs.tracer
+                .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
+            at += costs.shape(s).compile_s;
+        }
+        for &idx in batch {
+            let shape = costs.shape(outcomes[idx].request.sample);
+            obs.tracer
+                .child_span(batch_span, "gpu_compute", at, shape.compute_s);
+            at += shape.compute_s;
+        }
+        debug_assert!((at - done).abs() < 1e-9);
+        for &idx in batch {
+            outcomes[idx].done_s = done;
+            outcomes[idx].deadline_missed = config.deadline.exceeded(outcomes[idx].latency_s());
+        }
+        gpu_busy += done - start;
+        gpu_free = done;
+        batches += 1;
+        i += take;
+    }
+
+    // Fold the outcomes into the report + metrics.
+    let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
+    let makespan_s = outcomes
+        .iter()
+        .filter(|o| !o.rejected)
+        .map(|o| o.done_s)
+        .fold(last_arrival, f64::max);
+    let served = outcomes.iter().filter(|o| !o.rejected).count();
+    let rejected = outcomes.len() - served;
+    let deadline_missed = outcomes.iter().filter(|o| o.deadline_missed).count();
+    let throughput_qph = if makespan_s > 0.0 {
+        served as f64 / makespan_s * 3600.0
+    } else {
+        0.0
+    };
+    let gpu_occupancy = if makespan_s > 0.0 {
+        gpu_busy / makespan_s
+    } else {
+        0.0
+    };
+
+    let mut latency_hist = Histogram::new(&LATENCY_BOUNDS);
+    for o in outcomes.iter().filter(|o| !o.rejected) {
+        latency_hist.observe(o.latency_s());
+        obs.metrics
+            .observe("serve.latency_s", o.latency_s(), &LATENCY_BOUNDS);
+    }
+
+    obs.tracer.advance(makespan_s);
+    obs.tracer.end();
+
+    let m = &mut obs.metrics;
+    m.inc("serve.requests", requests.len() as u64);
+    m.inc("serve.served", served as u64);
+    m.inc("serve.rejected", rejected as u64);
+    m.inc("serve.deadline_missed", deadline_missed as u64);
+    m.inc("serve.cache.hits", cache.hits());
+    m.inc("serve.cache.misses", cache.misses());
+    m.inc("serve.cache.evictions", cache.evictions());
+    m.inc("serve.gpu.batches", batches as u64);
+    m.inc("serve.gpu.compiled_shapes", compiled.len() as u64);
+    m.set_gauge("serve.throughput_qph", throughput_qph);
+    m.set_gauge("serve.makespan_s", makespan_s);
+    m.set_gauge("serve.gpu.occupancy", gpu_occupancy);
+    m.set_gauge("serve.cache.hit_rate", cache.hit_rate());
+
+    ServeReport {
+        config: *config,
+        served,
+        rejected,
+        deadline_missed,
+        makespan_s,
+        throughput_qph,
+        gpu_busy_s: gpu_busy,
+        gpu_occupancy,
+        batches,
+        compiled_shapes: compiled.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
+        cache_hit_rate: cache.hit_rate(),
+        latency: latency_hist.summary(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-priced cost table: MSA dominates (minutes) while the GPU
+    /// serves in seconds — the paper's §III shape.
+    fn synthetic_costs() -> CostTable {
+        let mut shapes = BTreeMap::new();
+        for (k, &id) in SampleId::all().iter().enumerate() {
+            shapes.insert(
+                id,
+                ShapeCost {
+                    msa_s: 120.0 + 30.0 * k as f64,
+                    feature_bytes: 10 << 20,
+                    feature_load_s: 0.1,
+                    peak_msa_bytes: 1 << 30,
+                    admitted: true,
+                    compile_s: 20.0,
+                    compute_s: 25.0 + k as f64,
+                },
+            );
+        }
+        CostTable {
+            platform: Platform::Server,
+            msa_threads: 4,
+            init_s: 30.0,
+            dispatch_s: 1.5,
+            shapes,
+        }
+    }
+
+    fn base_config() -> ServeConfig {
+        ServeConfig {
+            workload: WorkloadConfig {
+                num_requests: 48,
+                catalog_size: 10,
+                arrival_rate_per_s: 0.1,
+                zipf_exponent: 1.1,
+                seed: 17,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    fn run(config: &ServeConfig) -> ServeReport {
+        run_serve(config, &synthetic_costs(), &mut ObsSession::new())
+    }
+
+    #[test]
+    fn run_is_deterministic_including_trace_and_metrics() {
+        let cfg = base_config();
+        let mut a_obs = ObsSession::new();
+        let mut b_obs = ObsSession::new();
+        let a = run_serve(&cfg, &synthetic_costs(), &mut a_obs);
+        let b = run_serve(&cfg, &synthetic_costs(), &mut b_obs);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(
+            a_obs.metrics.render_text(),
+            b_obs.metrics.render_text(),
+            "metrics must replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn caching_strictly_increases_throughput() {
+        let with_cache = run(&base_config());
+        let no_cache = run(&ServeConfig {
+            cache_capacity_bytes: 0,
+            ..base_config()
+        });
+        assert!(with_cache.cache_hit_rate > no_cache.cache_hit_rate);
+        assert_eq!(no_cache.cache_hits, 0);
+        assert!(
+            with_cache.throughput_qph > no_cache.throughput_qph,
+            "cache hits must strictly raise queries/hour: {} vs {}",
+            with_cache.throughput_qph,
+            no_cache.throughput_qph
+        );
+    }
+
+    #[test]
+    fn bigger_gpu_batches_strictly_increase_throughput_under_backlog() {
+        // Steady-state serving: everything hits the cache, so the GPU is
+        // the bottleneck and batching amortizes the dispatch setup.
+        let warm = ServeConfig {
+            prewarm_cache: true,
+            ..base_config()
+        };
+        let b1 = run(&ServeConfig {
+            gpu_batch: 1,
+            ..warm
+        });
+        let b4 = run(&ServeConfig {
+            gpu_batch: 4,
+            ..warm
+        });
+        let b8 = run(&ServeConfig {
+            gpu_batch: 8,
+            ..warm
+        });
+        assert!(
+            b4.throughput_qph > b1.throughput_qph,
+            "B=4 {} vs B=1 {}",
+            b4.throughput_qph,
+            b1.throughput_qph
+        );
+        assert!(
+            b8.throughput_qph >= b4.throughput_qph,
+            "B=8 {} vs B=4 {}",
+            b8.throughput_qph,
+            b4.throughput_qph
+        );
+        assert!(b4.batches < b1.batches);
+    }
+
+    #[test]
+    fn compile_paid_once_per_shape_and_init_once() {
+        let r = run(&ServeConfig {
+            prewarm_cache: true,
+            ..base_config()
+        });
+        assert!(r.compiled_shapes <= SampleId::all().len());
+        assert!(r.batches > 0);
+        // Total GPU busy accounts one init, one compile per shape, one
+        // dispatch per batch and one compute per request.
+        let costs = synthetic_costs();
+        let expected: f64 = costs.init_s
+            + r.batches as f64 * costs.dispatch_s
+            + costs
+                .shapes
+                .iter()
+                .filter(|(id, _)| r.outcomes.iter().any(|o| o.request.sample == **id))
+                .map(|(_, s)| s.compile_s)
+                .sum::<f64>()
+            + r.outcomes
+                .iter()
+                .filter(|o| !o.rejected)
+                .map(|o| costs.shape(o.request.sample).compute_s)
+                .sum::<f64>();
+        assert!(
+            (r.gpu_busy_s - expected).abs() < 1e-6,
+            "gpu busy {} vs expected {expected}",
+            r.gpu_busy_s
+        );
+    }
+
+    #[test]
+    fn admission_rejects_unadmitted_shapes() {
+        let mut costs = synthetic_costs();
+        for shape in costs.shapes.values_mut() {
+            shape.admitted = false;
+        }
+        let r = run_serve(&base_config(), &costs, &mut ObsSession::new());
+        assert_eq!(r.served, 0);
+        assert_eq!(r.rejected, r.outcomes.len());
+        assert_eq!(r.throughput_qph, 0.0);
+        assert!(r.latency.is_none());
+        assert!(r.render().contains("n/a"));
+    }
+
+    #[test]
+    fn deadlines_flag_slow_requests() {
+        let tight = run(&ServeConfig {
+            deadline: Deadline::new(Some(1.0)),
+            ..base_config()
+        });
+        assert_eq!(
+            tight.deadline_missed, tight.served,
+            "a 1 s deadline must flag every served request"
+        );
+        let loose = run(&ServeConfig {
+            deadline: Deadline::new(None),
+            ..base_config()
+        });
+        assert_eq!(loose.deadline_missed, 0);
+    }
+
+    #[test]
+    fn cache_inserts_respect_completion_time_causality() {
+        // Two requests for the same entity arriving before the first
+        // one's MSA completes must both miss; a third arriving after
+        // must hit.
+        let cfg = ServeConfig {
+            workload: WorkloadConfig {
+                num_requests: 128,
+                catalog_size: 4,
+                arrival_rate_per_s: 0.2,
+                zipf_exponent: 2.0,
+                ..WorkloadConfig::default()
+            },
+            ..base_config()
+        };
+        let r = run(&cfg);
+        for o in r.outcomes.iter().filter(|o| o.cache_hit) {
+            // Some earlier request for the same entity finished its MSA
+            // (or the features were already present) strictly before
+            // this arrival.
+            let producer = r.outcomes.iter().any(|p| {
+                p.request.entity == o.request.entity
+                    && !p.cache_hit
+                    && p.ready_s <= o.request.arrival_s
+            });
+            let chained = r.outcomes.iter().any(|p| {
+                p.request.entity == o.request.entity && p.cache_hit && p.request.id < o.request.id
+            });
+            assert!(
+                producer || chained,
+                "hit without a completed producer: {:?}",
+                o.request
+            );
+        }
+        // And with this much repetition there are real hits to check.
+        assert!(r.cache_hits > 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Seeded serving workload: a request-arrival stream over the benchmark
+//! samples.
+//!
+//! Two knobs shape the stream the way production folding services see
+//! it:
+//!
+//! - **arrival rate** — inter-arrival gaps are exponential (Poisson
+//!   arrivals) with the given mean rate, drawn from the seeded RNG,
+//! - **Zipf-like repetition** — requests target a catalog of entities
+//!   whose popularity follows `weight(k) ∝ 1 / (k+1)^s`. A PPI screen
+//!   re-folds the same popular bait complexes over and over; that
+//!   repetition is exactly what the MSA feature cache monetizes.
+//!
+//! An *entity* is a distinct query identity (the cache key). Each
+//! entity maps to one of the benchmark samples round-robin, so the
+//! stream exercises every input shape class (Table II) while still
+//! repeating identities.
+
+use afsb_rt::rng::{mix, Rng, WeightedIndex};
+use afsb_seq::samples::SampleId;
+
+/// Workload-generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Requests in the stream.
+    pub num_requests: usize,
+    /// Distinct query entities in the catalog.
+    pub catalog_size: usize,
+    /// Mean arrival rate, requests per simulated second.
+    pub arrival_rate_per_s: f64,
+    /// Zipf popularity exponent (`0.0` = uniform; larger = more skew).
+    pub zipf_exponent: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            num_requests: 64,
+            catalog_size: 12,
+            arrival_rate_per_s: 0.1,
+            zipf_exponent: 1.1,
+            seed: 17,
+        }
+    }
+}
+
+/// One serving request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Stream position (0-based, arrival order).
+    pub id: usize,
+    /// Catalog entity — the cache key.
+    pub entity: usize,
+    /// The benchmark sample this entity resolves to (the GPU shape).
+    pub sample: SampleId,
+    /// Arrival time in simulated seconds.
+    pub arrival_s: f64,
+}
+
+/// The sample an entity's query resolves to (round-robin over the
+/// suite, so every shape class appears).
+pub fn sample_for_entity(entity: usize) -> SampleId {
+    let all = SampleId::all();
+    all[entity % all.len()]
+}
+
+/// Generate the arrival stream. Requests come out sorted by arrival
+/// time (ties broken by stream position).
+///
+/// # Panics
+///
+/// Panics if `num_requests` or `catalog_size` is zero, or the arrival
+/// rate is not positive and finite.
+pub fn generate(config: &WorkloadConfig) -> Vec<Request> {
+    assert!(config.num_requests > 0, "need at least one request");
+    assert!(config.catalog_size > 0, "need at least one entity");
+    assert!(
+        config.arrival_rate_per_s > 0.0 && config.arrival_rate_per_s.is_finite(),
+        "arrival rate must be positive and finite"
+    );
+    let weights: Vec<f64> = (0..config.catalog_size)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(config.zipf_exponent))
+        .collect();
+    let popularity = WeightedIndex::new(&weights).expect("weights are positive and finite");
+    let mut rng = Rng::seed_from_u64(mix(config.seed, 0x5E44E));
+
+    let mut requests = Vec::with_capacity(config.num_requests);
+    let mut clock = 0.0f64;
+    for id in 0..config.num_requests {
+        // Exponential inter-arrival gap; gen_f64 is in [0, 1) so the
+        // log argument stays in (0, 1].
+        let u = rng.gen_f64();
+        clock += -(1.0 - u).ln() / config.arrival_rate_per_s;
+        let entity = popularity.sample(&mut rng);
+        requests.push(Request {
+            id,
+            entity,
+            sample: sample_for_entity(entity),
+            arrival_s: clock,
+        });
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let cfg = WorkloadConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b, "same seed must give the identical stream");
+        assert_eq!(a.len(), cfg.num_requests);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s);
+        }
+        assert!(a.iter().all(|r| r.entity < cfg.catalog_size));
+    }
+
+    #[test]
+    fn different_seed_changes_the_stream() {
+        let a = generate(&WorkloadConfig::default());
+        let b = generate(&WorkloadConfig {
+            seed: 18,
+            ..WorkloadConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_popular_entities() {
+        let cfg = WorkloadConfig {
+            num_requests: 2000,
+            catalog_size: 20,
+            zipf_exponent: 1.2,
+            ..WorkloadConfig::default()
+        };
+        let stream = generate(&cfg);
+        let head = stream.iter().filter(|r| r.entity < 4).count();
+        assert!(
+            head * 2 > stream.len(),
+            "top-4 entities should draw most requests, got {head}/{}",
+            stream.len()
+        );
+        // Mean inter-arrival gap tracks the configured rate.
+        let span = stream.last().unwrap().arrival_s;
+        let mean_gap = span / stream.len() as f64;
+        let expected = 1.0 / cfg.arrival_rate_per_s;
+        assert!(
+            (mean_gap / expected - 1.0).abs() < 0.2,
+            "mean gap {mean_gap} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn entities_cover_every_sample_shape() {
+        let mut seen = std::collections::BTreeSet::new();
+        for entity in 0..SampleId::all().len() {
+            seen.insert(sample_for_entity(entity));
+        }
+        assert_eq!(seen.len(), SampleId::all().len());
+    }
+}
