@@ -44,7 +44,7 @@ run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 # show up as an intentional update to results/quick/, not silently.
 golden_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
-GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve)
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl)
 run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
 for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
     run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
@@ -69,5 +69,15 @@ run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-a" >
 run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-b" > /dev/null
 run cmp "$golden_dir/perf-a/BENCH_serve.json" "$golden_dir/perf-b/BENCH_serve.json"
 run target/release/afsysbench perf-diff results/BENCH_serve.json "$golden_dir/perf-a/BENCH_serve.json"
+
+# Event-engine scale gate: serve-xl pushes a 10k-request Poisson/Zipf
+# stream (100k in full mode) through the discrete-event scheduler. Two
+# same-seed profiles must be byte-identical — one heap, one clock, no
+# hidden iteration-order dependence at scale — and the fresh profile
+# must stay within tolerance of the committed baseline.
+run target/release/afsysbench profile serve-xl --quick --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve-xl --quick --out "$golden_dir/perf-b" > /dev/null
+run cmp "$golden_dir/perf-a/BENCH_serve_xl.json" "$golden_dir/perf-b/BENCH_serve_xl.json"
+run target/release/afsysbench perf-diff results/BENCH_serve_xl.json "$golden_dir/perf-a/BENCH_serve_xl.json"
 
 echo "==> tier-1 gate passed"

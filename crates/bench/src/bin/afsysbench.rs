@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! afsysbench <experiment...|all> [--quick] [--out DIR]
-//! afsysbench profile <pipeline|msa-sweep|serve>... [--quick] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl>... [--quick] [--out DIR]
 //! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
@@ -15,7 +15,10 @@
 //!
 //! The `serve` experiment runs the canonical multi-query serving
 //! scenarios (MSA feature cache and GPU batching ablations) and prints
-//! the cross-scenario throughput/latency summary.
+//! the cross-scenario throughput/latency summary. `serve-xl` runs the
+//! same ablations at production scale — a 10k-request (quick) /
+//! 100k-request (full) Poisson/Zipf stream with miss coalescing on —
+//! through the event-driven scheduler.
 //!
 //! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
 //! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
@@ -52,6 +55,7 @@ const EXPERIMENTS: &[&str] = &[
     "recommend",
     "trace",
     "serve",
+    "serve-xl",
 ];
 
 fn usage() -> ! {
@@ -89,6 +93,7 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "estimator" => harness.estimator(),
         "recommend" => harness.recommend(),
         "serve" => harness.serve(),
+        "serve-xl" => harness.serve_xl(),
         "trace" => {
             let (mut text, trace, flame) = harness.trace(17);
             let trace_path = PathBuf::from(

@@ -653,4 +653,12 @@ impl Harness {
         let runs = afsb_serve::scenario::run_default(self.quick);
         afsb_serve::scenario::render_summary(&runs)
     }
+
+    /// Multi-query serving at production scale: the same ablations over
+    /// a 10k-request (quick) / 100k-request (full) stream with miss
+    /// coalescing on — the event engine's scale exercise.
+    pub fn serve_xl(&self) -> String {
+        let runs = afsb_serve::scenario::run_xl(self.quick);
+        afsb_serve::scenario::render_summary(&runs)
+    }
 }

@@ -32,6 +32,7 @@ use afsb_model::ModelConfig;
 use afsb_rt::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
 use afsb_rt::obs::ObsSession;
 use afsb_rt::rng::{mix, Rng};
+use afsb_rt::sim::{Event, SimEngine, TimerId};
 use afsb_rt::Json;
 use afsb_simarch::memory::CapacityModel;
 use afsb_simarch::Platform;
@@ -353,6 +354,130 @@ fn note_retry(
     }
 }
 
+/// The resilient executor's wall clock, expressed on the shared
+/// discrete-event engine ([`SimEngine`]): work is charged with
+/// [`ExecClock::advance`], retry backoffs sleep through a scheduled
+/// wake-up event ([`ExecClock::wait`]), and phase budgets are armed as
+/// cancellable `DeadlineExpired` timers. A timer counts as *expired*
+/// only once the clock has moved **strictly** past its firing time —
+/// exactly [`Deadline`]'s strict-`>` rule, so the engine-timer
+/// executor accounts bit-identically to the old float arithmetic.
+struct ExecClock {
+    engine: SimEngine,
+    /// `(timer, at_s)` of every `DeadlineExpired` pop so far. A timer
+    /// popped exactly at the current clock has not elapsed yet; it
+    /// becomes expired when the clock moves past `at_s`.
+    fired: Vec<(TimerId, f64)>,
+    waits: usize,
+}
+
+impl ExecClock {
+    fn new() -> ExecClock {
+        ExecClock {
+            engine: SimEngine::new(),
+            fired: Vec::new(),
+            waits: 0,
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.engine.now_seconds()
+    }
+
+    /// Charge `seconds` of simulated work.
+    fn advance(&mut self, seconds: f64) {
+        self.engine.advance(seconds);
+    }
+
+    /// Arm `deadline` as a timer `limit` seconds from now (`None` when
+    /// the deadline is unbounded).
+    fn arm(&mut self, deadline: &Deadline) -> Option<TimerId> {
+        deadline.limit_seconds().map(|l| {
+            self.engine
+                .schedule_in(l, Event::DeadlineExpired { request: 0 })
+        })
+    }
+
+    /// Sleep through a retry backoff: schedule a wake-up event and pop
+    /// the queue up to it. Deadline timers overtaken by the sleep are
+    /// recorded for [`ExecClock::expired`].
+    fn wait(&mut self, seconds: f64) {
+        let wake = self.engine.schedule_in(
+            seconds,
+            Event::Arrival {
+                request: self.waits,
+            },
+        );
+        self.waits += 1;
+        while let Some((at_s, event, id)) = self.engine.pop_with_id() {
+            if id == wake {
+                break;
+            }
+            debug_assert!(matches!(event, Event::DeadlineExpired { .. }));
+            self.fired.push((id, at_s));
+        }
+    }
+
+    /// Whether an armed timer has elapsed: drains everything strictly
+    /// before the clock, then checks whether `timer` fired strictly in
+    /// the past.
+    fn expired(&mut self, timer: Option<TimerId>) -> bool {
+        let Some(t) = timer else { return false };
+        while self
+            .engine
+            .peek_time()
+            .is_some_and(|at| at < self.engine.now_seconds())
+        {
+            let (at_s, _, id) = self.engine.pop_with_id().expect("peeked event exists");
+            self.fired.push((id, at_s));
+        }
+        let now = self.engine.now_seconds();
+        self.fired.iter().any(|&(id, at)| id == t && at < now)
+    }
+
+    /// Disarm a timer whose phase succeeded.
+    fn disarm(&mut self, timer: Option<TimerId>) {
+        if let Some(t) = timer {
+            self.engine.cancel(t);
+        }
+    }
+}
+
+/// One attempt's budget: a `DeadlineExpired` timer on an attempt-local
+/// clock. Each attempt measures its own wall time from zero, so the
+/// strict `spent > limit` comparison stays exact no matter how far the
+/// global clock has advanced.
+struct AttemptBudget {
+    engine: SimEngine,
+    timer: Option<TimerId>,
+}
+
+impl AttemptBudget {
+    fn arm(deadline: &Deadline) -> AttemptBudget {
+        let mut engine = SimEngine::new();
+        let timer = deadline
+            .limit_seconds()
+            .map(|l| engine.schedule_in(l, Event::DeadlineExpired { request: 0 }));
+        AttemptBudget { engine, timer }
+    }
+
+    /// Charge the attempt's `seconds`; returns whether the budget
+    /// timer fired strictly inside them.
+    fn charge(&mut self, seconds: f64) -> bool {
+        self.engine.advance(seconds);
+        let expired = self.timer.is_some()
+            && self
+                .engine
+                .peek_time()
+                .is_some_and(|at| at < self.engine.now_seconds());
+        if expired {
+            self.engine.pop();
+            self.timer = None;
+        }
+        expired
+    }
+}
+
 /// Execute the pipeline under a fault plan with retries, deadlines,
 /// checkpointing and graceful degradation.
 ///
@@ -451,7 +576,10 @@ fn run_resilient_impl(
     let mut injector = plan.injector();
     let mut retries = 0u64;
     let mut recovery_seconds = 0.0;
-    let mut wall_seconds = 0.0;
+    // The wall clock: one engine drives work charges, backoff sleeps
+    // and deadline timers, and the injector is kept on it via
+    // `sync_to` — one clock across executor and fault delivery.
+    let mut clock = ExecClock::new();
     let mut degrade_steps = Vec::new();
     let mut msa_opts = pipeline_options.msa;
     let mut eff_threads = threads;
@@ -522,9 +650,11 @@ fn run_resilient_impl(
         .max(1) as f64;
     let mut breaker = CircuitBreaker::new(options.breaker_threshold);
     let mut breaker_tripped = false;
-    let msa_deadline = Deadline::new(options.msa_deadline_s);
+    // The MSA budget as an engine timer: the phase starts at clock
+    // zero, so the timer sits at the limit itself and `expired` is the
+    // strict `spent > limit` rule on the shared clock.
+    let msa_timer = clock.arm(&Deadline::new(options.msa_deadline_s));
     let mut progress = 0.0f64;
-    let mut msa_spent = 0.0f64;
 
     let msa: MsaPhaseResult = loop {
         if let Some(kind) = injector.poll(FaultSite::MsaAbort) {
@@ -535,7 +665,7 @@ fn run_resilient_impl(
                 // already rejects the job.
                 note(
                     &mut obs,
-                    wall_seconds,
+                    clock.now(),
                     "admission-reject",
                     &[("phase", "msa".into())],
                 );
@@ -545,7 +675,7 @@ fn run_resilient_impl(
                     recovery_seconds,
                     degrade_steps,
                     &injector,
-                    wall_seconds,
+                    clock.now(),
                 );
             }
             let full = clean.wall_seconds();
@@ -561,15 +691,14 @@ fn run_resilient_impl(
             if let Some(o) = obs.as_deref_mut() {
                 let id = o
                     .tracer
-                    .closed_span("msa_attempt_aborted", wall_seconds, spent_this);
+                    .closed_span("msa_attempt_aborted", clock.now(), spent_this);
                 o.tracer.span_attr(id, "fault", kind.label());
                 o.tracer.span_attr(id, "kill_fraction", kill_at);
                 o.tracer.span_attr(id, "durable_fraction", durable);
                 o.tracer.span_attr(id, "wasted_seconds", wasted);
             }
             retries += 1;
-            msa_spent += spent_this;
-            wall_seconds += spent_this;
+            clock.advance(spent_this);
             let open = breaker.record_failure();
             breaker_tripped = true;
             if open || retries > options.retry.max_retries as u64 {
@@ -578,27 +707,26 @@ fn run_resilient_impl(
                 } else {
                     "retry-budget-exhausted"
                 };
-                note(&mut obs, wall_seconds, name, &[("phase", "msa".into())]);
+                note(&mut obs, clock.now(), name, &[("phase", "msa".into())]);
                 return fail(
                     RunOutcome::Failed,
                     retries,
                     recovery_seconds,
                     degrade_steps,
                     &injector,
-                    wall_seconds,
+                    clock.now(),
                 );
             }
             let backoff = options.retry.backoff_seconds(retries as u32, seed);
-            note_retry(&mut obs, wall_seconds, "msa", retries, backoff);
+            note_retry(&mut obs, clock.now(), "msa", retries, backoff);
             recovery_seconds += wasted + backoff;
-            msa_spent += backoff;
-            wall_seconds += backoff;
-            injector.advance(spent_this + backoff);
+            clock.wait(backoff);
+            injector.sync_to(clock.now());
             progress = durable;
             if options.checkpointing && progress > 0.0 {
                 note(
                     &mut obs,
-                    wall_seconds,
+                    clock.now(),
                     "checkpoint-restore",
                     &[("durable_fraction", progress.into())],
                 );
@@ -606,10 +734,10 @@ fn run_resilient_impl(
                     o.metrics.inc("resilience.checkpoint_restores", 1);
                 }
             }
-            if msa_deadline.exceeded(msa_spent) {
+            if clock.expired(msa_timer) {
                 note(
                     &mut obs,
-                    wall_seconds,
+                    clock.now(),
                     "deadline-exceeded",
                     &[("phase", "msa".into())],
                 );
@@ -619,7 +747,7 @@ fn run_resilient_impl(
                     recovery_seconds,
                     degrade_steps,
                     &injector,
-                    wall_seconds,
+                    clock.now(),
                 );
             }
             continue;
@@ -632,7 +760,7 @@ fn run_resilient_impl(
         if !r.outcome.finished() {
             note(
                 &mut obs,
-                wall_seconds,
+                clock.now(),
                 "admission-reject",
                 &[("phase", "msa".into())],
             );
@@ -642,26 +770,25 @@ fn run_resilient_impl(
                 recovery_seconds,
                 degrade_steps,
                 &injector,
-                wall_seconds,
+                clock.now(),
             );
         }
         breaker.record_success();
         if breaker_tripped {
-            note(&mut obs, wall_seconds, "circuit-closed", &[]);
+            note(&mut obs, clock.now(), "circuit-closed", &[]);
             breaker_tripped = false;
         }
         let attempt = (1.0 - progress) * r.wall_seconds();
         if let Some(o) = obs.as_deref_mut() {
-            o.tracer.set_clock(wall_seconds);
+            o.tracer.set_clock(clock.now());
             crate::trace::record_msa_phase_window(data, &r, o, attempt);
         }
-        msa_spent += attempt;
-        wall_seconds += attempt;
-        injector.advance(attempt);
-        if msa_deadline.exceeded(msa_spent) {
+        clock.advance(attempt);
+        injector.sync_to(clock.now());
+        if clock.expired(msa_timer) {
             note(
                 &mut obs,
-                wall_seconds,
+                clock.now(),
                 "deadline-exceeded",
                 &[("phase", "msa".into())],
             );
@@ -671,9 +798,10 @@ fn run_resilient_impl(
                 recovery_seconds,
                 degrade_steps,
                 &injector,
-                wall_seconds,
+                clock.now(),
             );
         }
+        clock.disarm(msa_timer);
         break r;
     };
 
@@ -687,6 +815,9 @@ fn run_resilient_impl(
     let inference_deadline = Deadline::new(options.inference_deadline_s);
 
     let inference: InferencePhaseResult = loop {
+        // Each attempt arms its own budget timer on an attempt-local
+        // clock (per-attempt budgets restart from zero).
+        let mut budget = AttemptBudget::arm(&inference_deadline);
         match inference_phase::run_inference_phase_faulted(
             &data.sample.assembly,
             platform,
@@ -697,14 +828,14 @@ fn run_resilient_impl(
                 if let Some(o) = obs.as_deref_mut() {
                     let id = o.tracer.closed_span(
                         "inference_attempt_failed",
-                        wall_seconds,
+                        clock.now(),
                         fault.wasted_seconds,
                     );
                     o.tracer
                         .span_attr(id, "wasted_seconds", fault.wasted_seconds);
                 }
                 retries += 1;
-                wall_seconds += fault.wasted_seconds;
+                clock.advance(fault.wasted_seconds);
                 let open = breaker.record_failure();
                 breaker_tripped = true;
                 if open || retries > options.retry.max_retries as u64 {
@@ -715,7 +846,7 @@ fn run_resilient_impl(
                     };
                     note(
                         &mut obs,
-                        wall_seconds,
+                        clock.now(),
                         name,
                         &[("phase", "inference".into())],
                     );
@@ -725,39 +856,39 @@ fn run_resilient_impl(
                         recovery_seconds,
                         degrade_steps,
                         &injector,
-                        wall_seconds,
+                        clock.now(),
                     );
                 }
                 let backoff = options.retry.backoff_seconds(retries as u32, seed);
-                note_retry(&mut obs, wall_seconds, "inference", retries, backoff);
+                note_retry(&mut obs, clock.now(), "inference", retries, backoff);
                 recovery_seconds += fault.wasted_seconds + backoff;
-                wall_seconds += backoff;
-                injector.advance(fault.wasted_seconds + backoff);
+                clock.wait(backoff);
+                injector.sync_to(clock.now());
             }
             Ok(r) => {
                 let t = r.wall_seconds();
-                if inference_deadline.exceeded(t) {
+                if budget.charge(t) {
                     // A stalled compile blew the phase budget: the
                     // attempt is killed at the deadline and retried
                     // (the stall fault is consumed, so the retry
                     // compiles at normal speed).
                     let limit = inference_deadline
                         .limit_seconds()
-                        .expect("exceeded implies a limit");
+                        .expect("an expired budget implies a limit");
                     if let Some(o) = obs.as_deref_mut() {
                         let id =
                             o.tracer
-                                .closed_span("inference_attempt_timeout", wall_seconds, limit);
+                                .closed_span("inference_attempt_timeout", clock.now(), limit);
                         o.tracer.span_attr(id, "limit_seconds", limit);
                     }
                     note(
                         &mut obs,
-                        wall_seconds + limit,
+                        clock.now() + limit,
                         "deadline-exceeded",
                         &[("phase", "inference".into())],
                     );
                     retries += 1;
-                    wall_seconds += limit;
+                    clock.advance(limit);
                     let open = breaker.record_failure();
                     breaker_tripped = true;
                     if open || retries > options.retry.max_retries as u64 {
@@ -768,7 +899,7 @@ fn run_resilient_impl(
                         };
                         note(
                             &mut obs,
-                            wall_seconds,
+                            clock.now(),
                             name,
                             &[("phase", "inference".into())],
                         );
@@ -778,26 +909,26 @@ fn run_resilient_impl(
                             recovery_seconds,
                             degrade_steps,
                             &injector,
-                            wall_seconds,
+                            clock.now(),
                         );
                     }
                     let backoff = options.retry.backoff_seconds(retries as u32, seed);
-                    note_retry(&mut obs, wall_seconds, "inference", retries, backoff);
+                    note_retry(&mut obs, clock.now(), "inference", retries, backoff);
                     recovery_seconds += limit + backoff;
-                    wall_seconds += backoff;
-                    injector.advance(limit + backoff);
+                    clock.wait(backoff);
+                    injector.sync_to(clock.now());
                     continue;
                 }
                 breaker.record_success();
                 if breaker_tripped {
-                    note(&mut obs, wall_seconds, "circuit-closed", &[]);
+                    note(&mut obs, clock.now(), "circuit-closed", &[]);
                 }
                 if let Some(o) = obs.as_deref_mut() {
-                    o.tracer.set_clock(wall_seconds);
+                    o.tracer.set_clock(clock.now());
                     crate::trace::record_inference_phase(&r, o);
                 }
-                wall_seconds += t;
-                injector.advance(t);
+                clock.advance(t);
+                injector.sync_to(clock.now());
                 break r;
             }
         }
@@ -833,7 +964,7 @@ fn run_resilient_impl(
         recovery_seconds,
         degrade_steps,
         fault_events: injector.events().to_vec(),
-        wall_seconds,
+        wall_seconds: clock.now(),
     }
 }
 

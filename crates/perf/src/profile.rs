@@ -12,6 +12,9 @@
 //! * `serve` — the canonical multi-query serving scenarios (feature
 //!   cache and GPU batching ablations), yielding per-scenario
 //!   throughput, latency percentiles, hit rate and occupancy.
+//! * `serve-xl` — the same ablations at production scale (10k requests
+//!   quick, 100k full; 500–2000 entity catalog, 64 workers, batch 8,
+//!   miss coalescing on) — the event engine's scale exercise.
 //!
 //! All are fully deterministic: the same seed and mode produce a
 //! byte-identical baseline file.
@@ -32,7 +35,7 @@ use afsb_simarch::Platform;
 use std::fmt::Write as _;
 
 /// Experiments `afsysbench profile` understands.
-pub const PROFILE_EXPERIMENTS: [&str; 3] = ["pipeline", "msa-sweep", "serve"];
+pub const PROFILE_EXPERIMENTS: [&str; 4] = ["pipeline", "msa-sweep", "serve", "serve-xl"];
 
 /// Seed shared by the profiled runs (matches the bench harness).
 pub const PROFILE_SEED: u64 = 17;
@@ -64,6 +67,7 @@ pub fn run_profile(experiment: &str, quick: bool) -> Result<ProfileArtifacts, St
         "pipeline" => Ok(profile_pipeline(quick)),
         "msa-sweep" => Ok(profile_msa_sweep(quick)),
         "serve" => Ok(profile_serve(quick)),
+        "serve-xl" => Ok(profile_serve_xl(quick)),
         other => Err(format!(
             "unknown profile experiment `{other}` (available: {})",
             PROFILE_EXPERIMENTS.join(", ")
@@ -248,8 +252,21 @@ pub fn profile_msa_sweep(quick: bool) -> ProfileArtifacts {
 /// stream). Metrics are prefixed per scenario (`cold.qph`, …); the
 /// sampled profile covers the cold scenario's trace.
 pub fn profile_serve(quick: bool) -> ProfileArtifacts {
-    let runs = afsb_serve::scenario::run_default(quick);
+    serve_artifacts("serve", afsb_serve::scenario::run_default(quick), quick)
+}
 
+/// Profile the XL serving scenarios — the same four ablations over a
+/// 10k-request (quick) / 100k-request (full) Poisson/Zipf stream with
+/// miss coalescing on. Adds the coalescing counter per scenario.
+pub fn profile_serve_xl(quick: bool) -> ProfileArtifacts {
+    serve_artifacts("serve-xl", afsb_serve::scenario::run_xl(quick), quick)
+}
+
+fn serve_artifacts(
+    experiment: &str,
+    runs: Vec<afsb_serve::ScenarioRun>,
+    quick: bool,
+) -> ProfileArtifacts {
     let mut metrics = Vec::new();
     for run in &runs {
         let r = &run.report;
@@ -260,6 +277,9 @@ pub fn profile_serve(quick: bool) -> ProfileArtifacts {
         metrics.push((format!("{p}.gpu_occupancy"), r.gpu_occupancy));
         metrics.push((format!("{p}.gpu_batches"), r.batches as f64));
         metrics.push((format!("{p}.deadline_missed"), r.deadline_missed as f64));
+        if run.report.cache_coalesced > 0 {
+            metrics.push((format!("{p}.cache_coalesced"), r.cache_coalesced as f64));
+        }
         if let Some(l) = &r.latency {
             metrics.push((format!("{p}.latency_p50_s"), l.p50));
             metrics.push((format!("{p}.latency_p90_s"), l.p90));
@@ -267,7 +287,7 @@ pub fn profile_serve(quick: bool) -> ProfileArtifacts {
         }
     }
 
-    let cold = runs.first().expect("canonical scenario set is non-empty");
+    let cold = runs.first().expect("scenario set is non-empty");
     let sampled = SampledProfile::capture_n(&cold.obs.tracer, DEFAULT_SAMPLES);
 
     let mut report_text = afsb_serve::scenario::render_summary(&runs);
@@ -276,7 +296,7 @@ pub fn profile_serve(quick: bool) -> ProfileArtifacts {
 
     ProfileArtifacts {
         baseline: PerfBaseline {
-            experiment: "serve".to_owned(),
+            experiment: experiment.to_owned(),
             seed: afsb_serve::scenario::SERVE_SEED,
             quick,
             metrics,
@@ -307,6 +327,7 @@ mod tests {
         assert_eq!(baseline_file_name("pipeline"), "BENCH_pipeline.json");
         assert_eq!(baseline_file_name("msa-sweep"), "BENCH_msa_sweep.json");
         assert_eq!(baseline_file_name("serve"), "BENCH_serve.json");
+        assert_eq!(baseline_file_name("serve-xl"), "BENCH_serve_xl.json");
     }
 
     #[test]
@@ -330,6 +351,32 @@ mod tests {
         assert!(a.baseline.sampled.total_samples > 0);
         assert!(a.report_text.contains("queries/h"));
         assert!(a.collapsed.contains("gpu_batch"));
+    }
+
+    #[test]
+    fn quick_serve_xl_profile_holds_the_ablation_orderings() {
+        let a = profile_serve_xl(true);
+        let qph = |s: &str| {
+            a.baseline
+                .metric(&format!("{s}.qph"))
+                .unwrap_or_else(|| panic!("{s}.qph missing"))
+        };
+        assert!(
+            qph("cold") > qph("nocache"),
+            "feature cache must pay for itself at XL scale: cold {} vs nocache {}",
+            qph("cold"),
+            qph("nocache")
+        );
+        assert!(
+            qph("warm") > qph("warm_b1"),
+            "batching must amortize dispatch at XL scale: warm {} vs warm_b1 {}",
+            qph("warm"),
+            qph("warm_b1")
+        );
+        // Coalescing is on and the Zipf head is hot enough to collapse
+        // concurrent misses in the cold scenario.
+        assert!(a.baseline.metric("cold.cache_coalesced").unwrap_or(0.0) > 0.0);
+        assert_eq!(a.baseline.experiment, "serve-xl");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! their fault-free behaviour.
 
 use crate::rng::{mix, Rng};
+use crate::sim::{Event, SimEngine};
 use std::fmt;
 
 /// Where in the pipeline a fault can be delivered. Each site has exactly
@@ -197,12 +198,21 @@ impl FaultPlan {
         plan
     }
 
-    /// Build the injector that delivers this plan.
+    /// Build the injector that delivers this plan: every fault becomes a
+    /// scheduled [`Event::Fault`] on a fresh [`SimEngine`] at its
+    /// `not_before_s` time.
     pub fn injector(&self) -> FaultInjector {
+        let mut engine = SimEngine::new();
+        let mut future = Vec::new();
+        for f in &self.faults {
+            engine.schedule(f.not_before_s, Event::Fault(f.kind));
+            future.push(f.kind);
+        }
         FaultInjector {
-            pending: self.faults.clone(),
+            engine,
+            due: Vec::new(),
+            future,
             fired: Vec::new(),
-            clock_s: 0.0,
         }
     }
 }
@@ -235,11 +245,22 @@ impl fmt::Display for FaultEvent {
 }
 
 /// Delivers a [`FaultPlan`] to polling sites and logs what fired.
+///
+/// Since the event-engine refactor the injector is a thin consumer of
+/// [`SimEngine`]: every planned fault lives in the engine's queue as an
+/// [`Event::Fault`] scheduled at its `not_before_s`, the injector clock
+/// *is* the engine clock, and becoming deliverable is the queue popping
+/// the event. Delivery order among simultaneously-due faults is still
+/// **plan order** — the pop handle's sequence number is the plan
+/// position, and the due-list is kept sorted by it.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    pending: Vec<ScheduledFault>,
+    engine: SimEngine,
+    /// Popped (time-due) but not yet delivered faults, in plan order.
+    due: Vec<(u64, FaultKind)>,
+    /// Mirror of the engine queue for site queries (heaps are opaque).
+    future: Vec<FaultKind>,
     fired: Vec<FaultEvent>,
-    clock_s: f64,
 }
 
 impl FaultInjector {
@@ -251,37 +272,67 @@ impl FaultInjector {
     /// Advance the simulated clock (called by the runner as phases
     /// complete).
     pub fn advance(&mut self, seconds: f64) {
-        if seconds.is_finite() && seconds > 0.0 {
-            self.clock_s += seconds;
-        }
+        self.engine.advance(seconds);
+        self.drain_due();
+    }
+
+    /// Move the clock forward to an absolute simulated time (never
+    /// backwards) — lets a runner that owns its own [`SimEngine`] keep
+    /// the injector on the shared clock exactly.
+    pub fn sync_to(&mut self, clock_s: f64) {
+        self.engine.advance_to(clock_s);
+        self.drain_due();
     }
 
     /// The current simulated clock.
     pub fn clock_seconds(&self) -> f64 {
-        self.clock_s
+        self.engine.now_seconds()
     }
 
-    /// Deliver the next due fault for `site`, if any: the first pending
-    /// fault (in plan order) mapped to the site whose `not_before_s` has
+    /// Pop every engine event whose time has come; the due-list keeps
+    /// plan order via the schedule sequence numbers.
+    fn drain_due(&mut self) {
+        while self
+            .engine
+            .peek_time()
+            .is_some_and(|t| t <= self.engine.now_seconds())
+        {
+            let (_, event, id) = self.engine.pop_with_id().expect("peeked event exists");
+            let Event::Fault(kind) = event else {
+                unreachable!("the injector schedules only Fault events");
+            };
+            if let Some(i) = self.future.iter().position(|&k| k == kind) {
+                self.future.remove(i);
+            }
+            let pos = self
+                .due
+                .iter()
+                .position(|&(seq, _)| seq > id.seq())
+                .unwrap_or(self.due.len());
+            self.due.insert(pos, (id.seq(), kind));
+        }
+    }
+
+    /// Deliver the next due fault for `site`, if any: the first fault
+    /// (in plan order) mapped to the site whose scheduled time has
     /// passed. The fault is consumed and logged.
     pub fn poll(&mut self, site: FaultSite) -> Option<FaultKind> {
-        let idx = self
-            .pending
-            .iter()
-            .position(|f| f.kind.site() == site && f.not_before_s <= self.clock_s)?;
-        let fault = self.pending.remove(idx);
+        self.drain_due();
+        let idx = self.due.iter().position(|(_, k)| k.site() == site)?;
+        let (_, kind) = self.due.remove(idx);
         self.fired.push(FaultEvent {
             site,
-            kind: fault.kind,
-            at_s: self.clock_s,
+            kind,
+            at_s: self.engine.now_seconds(),
             lost_s: 0.0,
         });
-        Some(fault.kind)
+        Some(kind)
     }
 
     /// Whether any fault is still pending for `site` (due now or later).
     pub fn has_pending(&self, site: FaultSite) -> bool {
-        self.pending.iter().any(|f| f.kind.site() == site)
+        self.due.iter().any(|(_, k)| k.site() == site)
+            || self.future.iter().any(|k| k.site() == site)
     }
 
     /// Attribute `seconds` of simulated loss to the most recently fired

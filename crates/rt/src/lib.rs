@@ -22,6 +22,10 @@
 //! - [`obs`] — a deterministic tracing + metrics layer
 //!   ([`obs::Tracer`]/[`obs::MetricsRegistry`]) driven by the simulated
 //!   clock, with Chrome-trace (Perfetto), flamegraph and ASCII exporters.
+//! - [`sim`] — the discrete-event simulation engine
+//!   ([`sim::SimEngine`]): one monotone clock, one `(time, seq)`-ordered
+//!   binary-heap event queue with cancellable timers, shared by the
+//!   serving scheduler, the fault injector and the resilient executor.
 //!
 //! The suite-wide policy is **zero external registry dependencies**: if a
 //! capability is needed, it is implemented here or in the crate that needs
@@ -33,8 +37,10 @@ pub mod fault;
 pub mod json;
 pub mod obs;
 pub mod rng;
+pub mod sim;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use obs::{MetricsRegistry, ObsSession, SpanId, Tracer};
 pub use rng::{Rng, WeightedIndex};
+pub use sim::{Event, SimEngine, TimerId};

@@ -1,0 +1,400 @@
+//! `rt::sim` — the deterministic discrete-event simulation engine.
+//!
+//! Everything in the suite that pretends to be a running system — the
+//! multi-query server, the fault injector, the resilient executor — used
+//! to keep its own ad-hoc notion of simulated time: the serving
+//! scheduler re-scanned per-request state on every step (O(steps ·
+//! requests)), the injector compared a private clock against
+//! `not_before` stamps, the retry loop summed floats by hand. This
+//! module replaces all of that with the one structure a discrete-event
+//! simulator needs (the LLMServingSim shape): a **binary-heap event
+//! queue** keyed on `(sim_time, seq)` driving a **monotone clock**, so
+//! a sweep over N requests costs O(events · log n) instead of a rescan
+//! per step.
+//!
+//! Determinism rules:
+//!
+//! - The clock only moves when an event is popped ([`SimEngine::pop`])
+//!   or explicitly advanced ([`SimEngine::advance`] /
+//!   [`SimEngine::advance_to`]); it never reads wall time.
+//! - Same-timestamp events pop in **insertion order**: every
+//!   [`SimEngine::schedule`] stamps a monotonically increasing sequence
+//!   number that breaks heap ties, so the pop order is a pure function
+//!   of the schedule calls.
+//! - Timers are **cancellable** ([`SimEngine::cancel`]): a cancelled
+//!   entry is skipped at pop time and never observed by the consumer —
+//!   this is how per-request deadlines disarm on completion and how a
+//!   consumed fault leaves the queue.
+//! - Event times must be finite and are clamped to the current clock
+//!   (an event scheduled "in the past" fires immediately, it does not
+//!   rewind time).
+//!
+//! The typed event vocabulary ([`Event`]) is shared by every consumer:
+//! `serve` drives arrivals, MSA completions, cache fills and GPU
+//! batching through it; `rt::fault` schedules `Fault(kind)` deliveries;
+//! `core::resilience` arms `DeadlineExpired` timers and retry wake-ups.
+//! [`SimEngine::pop_traced`] forwards each popped event to an
+//! [`crate::obs::Tracer`] as an instant (`sim:<label>`) for Perfetto
+//! inspection; the untraced [`SimEngine::pop`] is the byte-identical
+//! hot path.
+
+use crate::fault::FaultKind;
+use crate::obs::Tracer;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event; pass to [`SimEngine::cancel`] to disarm
+/// it. Equal to the event's tie-breaking sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// The raw sequence number (insertion order of the schedule call).
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// The typed event vocabulary shared by every engine consumer. Payloads
+/// are plain indices into the consumer's own tables (request ids,
+/// worker slots, entities, batch counters) so the engine stays free of
+/// domain types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A request enters the system.
+    Arrival {
+        /// Stream position of the arriving request.
+        request: usize,
+    },
+    /// A CPU pool worker finished a request's MSA phase.
+    MsaDone {
+        /// The request whose features are now computed.
+        request: usize,
+        /// The pool worker slot that ran it.
+        worker: usize,
+    },
+    /// A feature-cache fill (or cached-feature load) completed for a
+    /// request — its features are now GPU-ready.
+    CacheFill {
+        /// The request whose features finished loading.
+        request: usize,
+        /// The cache entity the features belong to.
+        entity: usize,
+    },
+    /// The GPU should evaluate its ready queue and close a batch.
+    BatchClose,
+    /// A GPU dispatch completed.
+    GpuDone {
+        /// The batch ordinal that finished.
+        batch: usize,
+    },
+    /// A deadline armed for `request` elapsed without being cancelled.
+    DeadlineExpired {
+        /// The request (or phase ordinal) whose budget ran out.
+        request: usize,
+    },
+    /// A scheduled fault becomes deliverable ([`crate::fault`]).
+    Fault(FaultKind),
+}
+
+impl Event {
+    /// Stable short label used for trace instants and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::Arrival { .. } => "arrival",
+            Event::MsaDone { .. } => "msa-done",
+            Event::CacheFill { .. } => "cache-fill",
+            Event::BatchClose => "batch-close",
+            Event::GpuDone { .. } => "gpu-done",
+            Event::DeadlineExpired { .. } => "deadline-expired",
+            Event::Fault(kind) => kind.label(),
+        }
+    }
+}
+
+/// One heap entry. Ordered by `(time, seq)` — the heap is a max-heap,
+/// so the comparison is reversed to pop the earliest time first and,
+/// within a timestamp, the lowest sequence number (insertion order).
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at_s: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> Ordering {
+        // Reversed: the "greatest" entry is the earliest (time, seq).
+        // Times are validated finite at schedule time, so total_cmp
+        // agrees with the IEEE order the consumers reason about.
+        other
+            .at_s
+            .total_cmp(&self.at_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The deterministic discrete-event engine: one monotone clock, one
+/// `(time, seq)`-ordered event queue, cancellable timers.
+#[derive(Debug, Clone, Default)]
+pub struct SimEngine {
+    now_s: f64,
+    next_seq: u64,
+    heap: BinaryHeap<Scheduled>,
+    /// Sequence numbers of cancelled-but-not-yet-popped entries, kept
+    /// sorted (they are pushed in cancel order and removed at pop).
+    cancelled: Vec<u64>,
+    popped: u64,
+}
+
+impl SimEngine {
+    /// An empty engine with the clock at simulated second zero.
+    pub fn new() -> SimEngine {
+        SimEngine::default()
+    }
+
+    /// The current simulated time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advance the clock by `seconds` without popping anything.
+    /// Non-finite or negative deltas are ignored — a fault must never
+    /// corrupt the timeline (same rule as [`Tracer::advance`]).
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.now_s += seconds;
+        }
+    }
+
+    /// Move the clock forward to `seconds` (never backwards).
+    pub fn advance_to(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > self.now_s {
+            self.now_s = seconds;
+        }
+    }
+
+    /// Schedule `event` at absolute simulated time `at_s`, returning a
+    /// cancellable handle. A time earlier than the clock is clamped to
+    /// "now" (the event fires on the next pop, it cannot rewind time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at_s` is NaN or infinite — a non-finite timestamp
+    /// would silently corrupt the heap order.
+    pub fn schedule(&mut self, at_s: f64, event: Event) -> TimerId {
+        assert!(at_s.is_finite(), "event time must be finite, got {at_s}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at_s: at_s.max(self.now_s),
+            seq,
+            event,
+        });
+        TimerId(seq)
+    }
+
+    /// Schedule `event` `delay_s` seconds after the current clock
+    /// (negative or non-finite delays clamp to zero).
+    pub fn schedule_in(&mut self, delay_s: f64, event: Event) -> TimerId {
+        let d = if delay_s.is_finite() {
+            delay_s.max(0.0)
+        } else {
+            0.0
+        };
+        self.schedule(self.now_s + d, event)
+    }
+
+    /// Cancel a scheduled event. Returns whether the handle was live
+    /// (scheduled, not yet popped, not already cancelled). A cancelled
+    /// event is never returned by [`SimEngine::pop`].
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if id.0 >= self.next_seq || self.cancelled.contains(&id.0) {
+            return false;
+        }
+        // Live iff still somewhere in the heap; popped entries are gone.
+        if self.heap.iter().any(|s| s.seq == id.0) {
+            self.cancelled.push(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next event: advances the clock to its timestamp and
+    /// returns `(time, event)`. Cancelled entries are skipped silently.
+    /// `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.pop_with_id().map(|(t, ev, _)| (t, ev))
+    }
+
+    /// [`SimEngine::pop`] that also returns the popped event's handle —
+    /// consumers that need the original schedule order (e.g. the fault
+    /// injector's plan-order delivery) read it from [`TimerId::seq`].
+    pub fn pop_with_id(&mut self) -> Option<(f64, Event, TimerId)> {
+        while let Some(s) = self.heap.pop() {
+            if let Some(i) = self.cancelled.iter().position(|&c| c == s.seq) {
+                self.cancelled.swap_remove(i);
+                continue;
+            }
+            self.advance_to(s.at_s);
+            self.popped += 1;
+            return Some((s.at_s, s.event, TimerId(s.seq)));
+        }
+        None
+    }
+
+    /// [`SimEngine::pop`] that also forwards the popped event to the
+    /// tracer as an instant (`sim:<label>`) at its simulated time — the
+    /// hook that turns an engine run into a Perfetto-inspectable event
+    /// log. The clock/queue behaviour is identical to the untraced pop.
+    pub fn pop_traced(&mut self, tracer: &mut Tracer) -> Option<(f64, Event)> {
+        let (at_s, event) = self.pop()?;
+        tracer.instant_at(at_s, format!("sim:{}", event.label()));
+        Some((at_s, event))
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        loop {
+            let s = self.heap.peek()?;
+            if let Some(i) = self.cancelled.iter().position(|&c| c == s.seq) {
+                self.cancelled.swap_remove(i);
+                self.heap.pop();
+                continue;
+            }
+            return Some(s.at_s);
+        }
+    }
+
+    /// Live (scheduled, uncancelled) events still in the queue.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live event remains.
+    pub fn is_drained(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Events popped (delivered) so far — the O(events) cost driver.
+    pub fn events_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Events scheduled so far (including cancelled ones).
+    pub fn events_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_and_advances_the_clock() {
+        let mut e = SimEngine::new();
+        e.schedule(5.0, Event::BatchClose);
+        e.schedule(1.0, Event::Arrival { request: 0 });
+        e.schedule(3.0, Event::Arrival { request: 1 });
+        assert_eq!(e.pending(), 3);
+        assert_eq!(e.peek_time(), Some(1.0));
+        let (t0, ev0) = e.pop().unwrap();
+        assert_eq!((t0, ev0), (1.0, Event::Arrival { request: 0 }));
+        assert_eq!(e.now_seconds(), 1.0);
+        assert_eq!(e.pop().unwrap().0, 3.0);
+        assert_eq!(e.pop().unwrap().0, 5.0);
+        assert_eq!(e.pop(), None);
+        assert!(e.is_drained());
+        assert_eq!(e.events_popped(), 3);
+    }
+
+    #[test]
+    fn same_timestamp_pops_in_insertion_order() {
+        let mut e = SimEngine::new();
+        for request in 0..8 {
+            e.schedule(2.0, Event::Arrival { request });
+        }
+        for want in 0..8 {
+            match e.pop().unwrap().1 {
+                Event::Arrival { request } => assert_eq!(request, want),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut e = SimEngine::new();
+        let keep = e.schedule(1.0, Event::Arrival { request: 0 });
+        let kill = e.schedule(1.0, Event::DeadlineExpired { request: 0 });
+        assert!(e.cancel(kill));
+        assert!(!e.cancel(kill), "double-cancel reports dead");
+        let popped: Vec<Event> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+        assert_eq!(popped, vec![Event::Arrival { request: 0 }]);
+        assert!(!e.cancel(keep), "popped timers cannot be cancelled");
+    }
+
+    #[test]
+    fn past_events_clamp_to_now_and_fire_immediately() {
+        let mut e = SimEngine::new();
+        e.advance(10.0);
+        e.schedule(3.0, Event::BatchClose); // in the past: clamps to 10
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, 10.0);
+        assert_eq!(e.now_seconds(), 10.0);
+    }
+
+    #[test]
+    fn schedule_in_clamps_bad_delays() {
+        let mut e = SimEngine::new();
+        e.advance(5.0);
+        e.schedule_in(-3.0, Event::BatchClose);
+        e.schedule_in(f64::NAN, Event::BatchClose);
+        assert_eq!(e.pop().unwrap().0, 5.0);
+        assert_eq!(e.pop().unwrap().0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_times_are_rejected() {
+        SimEngine::new().schedule(f64::INFINITY, Event::BatchClose);
+    }
+
+    #[test]
+    fn pop_traced_forwards_instants() {
+        let mut e = SimEngine::new();
+        let mut t = Tracer::new();
+        e.schedule(2.0, Event::Fault(FaultKind::GpuInitFailure));
+        e.schedule(1.0, Event::GpuDone { batch: 0 });
+        e.pop_traced(&mut t);
+        e.pop_traced(&mut t);
+        assert_eq!(
+            t.instant_names(),
+            vec!["sim:gpu-done", "sim:gpu-init-failure"]
+        );
+    }
+
+    #[test]
+    fn peek_skips_cancelled_entries() {
+        let mut e = SimEngine::new();
+        let first = e.schedule(1.0, Event::BatchClose);
+        e.schedule(2.0, Event::GpuDone { batch: 1 });
+        assert!(e.cancel(first));
+        assert_eq!(e.peek_time(), Some(2.0));
+        assert_eq!(e.pending(), 1);
+    }
+}

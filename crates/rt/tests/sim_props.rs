@@ -1,0 +1,159 @@
+//! Property tests for the discrete-event engine (`rt::sim`): the three
+//! invariants every consumer's determinism proof rests on.
+//!
+//! 1. Same-timestamp events pop in insertion (`seq`) order.
+//! 2. A cancelled timer never fires, and cancellation never perturbs
+//!    the order of the surviving events.
+//! 3. An interleaved push/pop schedule drawn from a seeded RNG drains
+//!    identically across two replays — the queue itself is a pure
+//!    function of the schedule calls.
+
+use afsb_rt::check::{run, Config};
+use afsb_rt::sim::{Event, SimEngine, TimerId};
+
+/// Drain the engine, returning `(time, request-payload)` pairs.
+fn drain(e: &mut SimEngine) -> Vec<(f64, usize)> {
+    let mut out = Vec::new();
+    while let Some((t, ev)) = e.pop() {
+        if let Event::Arrival { request } = ev {
+            out.push((t, request));
+        }
+    }
+    out
+}
+
+#[test]
+fn same_timestamp_events_pop_in_insertion_order() {
+    run(
+        "same_timestamp_events_pop_in_insertion_order",
+        Config::cases(128),
+        |g| {
+            // A handful of distinct timestamps, many events per stamp.
+            let stamps: Vec<f64> = (0..g.range(1usize..5)).map(|k| k as f64 * 10.0).collect();
+            let n = g.range(2usize..40);
+            let mut e = SimEngine::new();
+            let mut expected: Vec<(f64, usize)> = Vec::new();
+            for request in 0..n {
+                let at = stamps[g.range(0..stamps.len())];
+                e.schedule(at, Event::Arrival { request });
+                expected.push((at, request));
+            }
+            // Stable sort by time alone preserves insertion order within
+            // a timestamp — exactly the engine's (time, seq) contract.
+            expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert_eq!(drain(&mut e), expected);
+        },
+    );
+}
+
+#[test]
+fn cancellation_never_fires_and_keeps_survivor_order() {
+    run(
+        "cancellation_never_fires_and_keeps_survivor_order",
+        Config::cases(128),
+        |g| {
+            let n = g.range(1usize..50);
+            let mut all = SimEngine::new();
+            let mut pruned = SimEngine::new();
+            let mut ids: Vec<(TimerId, usize)> = Vec::new();
+            let times: Vec<f64> = (0..n).map(|_| g.range(0.0..100.0)).collect();
+            for (request, &at) in times.iter().enumerate() {
+                let id = all.schedule(at, Event::Arrival { request });
+                ids.push((id, request));
+            }
+            // Cancel a random subset; schedule only the survivors into
+            // the control engine (in the same insertion order).
+            let mut survivors = Vec::new();
+            for (id, request) in ids {
+                if g.bool() {
+                    assert!(all.cancel(id), "live timer must cancel");
+                    assert!(!all.cancel(id), "second cancel reports dead");
+                } else {
+                    survivors.push(request);
+                    pruned.schedule(times[request], Event::Arrival { request });
+                }
+            }
+            let got = drain(&mut all);
+            let want = drain(&mut pruned);
+            assert_eq!(
+                got.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+                survivors.clone().tap_sort_by_time(&times),
+                "cancelled events leaked or reordered the survivors"
+            );
+            assert_eq!(got, want, "pruned control engine must agree");
+            assert!(all.is_drained() && all.pending() == 0);
+        },
+    );
+}
+
+/// Test helper: order request ids by `(time, insertion)` like the engine.
+trait TapSort {
+    fn tap_sort_by_time(self, times: &[f64]) -> Vec<usize>;
+}
+impl TapSort for Vec<usize> {
+    fn tap_sort_by_time(mut self, times: &[f64]) -> Vec<usize> {
+        self.sort_by(|&a, &b| times[a].total_cmp(&times[b]).then(a.cmp(&b)));
+        self
+    }
+}
+
+#[test]
+fn interleaved_push_pop_replays_identically() {
+    run(
+        "interleaved_push_pop_replays_identically",
+        Config::cases(64),
+        |g| {
+            // One seeded schedule of interleaved operations, executed on
+            // two engines in lockstep: every observable must agree.
+            let ops = g.vec(1..200, |g| {
+                (
+                    g.range(0u64..4),
+                    g.range(0.0..1000.0),
+                    g.range(0u64..1 << 30),
+                )
+            });
+            let mut a = SimEngine::new();
+            let mut b = SimEngine::new();
+            let mut live: Vec<TimerId> = Vec::new();
+            let mut log_a: Vec<(f64, usize)> = Vec::new();
+            let mut log_b: Vec<(f64, usize)> = Vec::new();
+            for (i, &(op, at, pick)) in ops.iter().enumerate() {
+                match op {
+                    // push
+                    0 | 1 => {
+                        let ida = a.schedule(at, Event::Arrival { request: i });
+                        let idb = b.schedule(at, Event::Arrival { request: i });
+                        assert_eq!(ida, idb, "timer ids are part of the replay");
+                        live.push(ida);
+                    }
+                    // pop
+                    2 => {
+                        let ra = a.pop();
+                        let rb = b.pop();
+                        assert_eq!(ra, rb);
+                        if let Some((t, Event::Arrival { request })) = ra {
+                            log_a.push((t, request));
+                        }
+                        if let Some((t, Event::Arrival { request })) = rb {
+                            log_b.push((t, request));
+                        }
+                    }
+                    // cancel a previously issued timer (may be dead)
+                    _ => {
+                        if !live.is_empty() {
+                            let id = live[pick as usize % live.len()];
+                            assert_eq!(a.cancel(id), b.cancel(id));
+                        }
+                    }
+                }
+                assert_eq!(a.pending(), b.pending());
+                assert_eq!(a.now_seconds(), b.now_seconds());
+            }
+            log_a.extend(drain(&mut a));
+            log_b.extend(drain(&mut b));
+            assert_eq!(log_a, log_b, "two replays of one schedule diverged");
+            // Popped times are monotone per engine run.
+            assert!(log_a.windows(2).all(|w| w[0].0 <= w[1].0));
+        },
+    );
+}

@@ -11,9 +11,12 @@
 //! A hit charges only the storage-priced feature load (the server
 //! computes it from the platform's sequential-read bandwidth); a miss
 //! pays the full CPU phase. Concurrent misses for the same entity are
-//! *not* coalesced — like the real systems, two in-flight requests for
-//! an uncached entity both run the search, and the second insert just
-//! refreshes the entry.
+//! *not* coalesced by default — like the naive systems, two in-flight
+//! requests for an uncached entity both run the search, and the second
+//! insert just refreshes the entry. When the server opts in
+//! (`ServeConfig::coalesce_misses`), the second request instead waits
+//! on the in-flight fill (a `CacheFill` event on the engine clock) and
+//! the wait is counted here as a [`FeatureCache::coalesced_hit`].
 
 /// A capacity-bounded LRU cache of MSA feature files.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +28,7 @@ pub struct FeatureCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    coalesced: u64,
 }
 
 impl FeatureCache {
@@ -74,6 +78,15 @@ impl FeatureCache {
         self.bytes += file_bytes;
     }
 
+    /// Count a request that piggybacked on an in-flight fill for its
+    /// entity instead of duplicating the MSA search: a hit (the CPU
+    /// phase was skipped) that also bumps the coalesced counter. The
+    /// entity is not cached yet, so there is no recency to refresh.
+    pub fn coalesced_hit(&mut self) {
+        self.hits += 1;
+        self.coalesced += 1;
+    }
+
     /// Whether the entity is currently cached (no counter side effects).
     pub fn contains(&self, entity: usize) -> bool {
         self.entries.iter().any(|&(e, _)| e == entity)
@@ -107,6 +120,11 @@ impl FeatureCache {
     /// Entries evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Hits that piggybacked on an in-flight fill so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
     }
 
     /// Hits over lookups (`0.0` before any lookup).
@@ -158,6 +176,16 @@ mod tests {
         assert_eq!(c.bytes(), 60);
         assert_eq!(c.len(), 1);
         assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn coalesced_hits_count_as_hits_without_inserting() {
+        let mut c = FeatureCache::new(100);
+        assert!(!c.lookup(1)); // first miss starts the fill
+        c.coalesced_hit(); // second request waits on it
+        assert_eq!((c.hits(), c.misses(), c.coalesced()), (1, 1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(c.is_empty(), "coalescing must not insert the entry early");
     }
 
     #[test]

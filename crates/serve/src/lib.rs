@@ -21,17 +21,23 @@
 //!   per-request [`afsb_core::resilience::Deadline`]s and the §VI
 //!   admission check,
 //! - [`scenario`]: the canonical scenario set behind `afsysbench
-//!   serve` and the `profile serve` baseline.
+//!   serve` and the `profile serve` baseline,
+//! - [`reference`]: the frozen seed step-scan scheduler, kept verbatim
+//!   as the byte-equivalence oracle for the event-driven [`server`].
 //!
 //! Everything runs on the simulated clock: the same seed yields
 //! byte-identical reports, metrics and traces.
 
 pub mod cache;
+pub mod reference;
 pub mod scenario;
 pub mod server;
 pub mod workload;
 
 pub use cache::FeatureCache;
-pub use scenario::{default_scenarios, render_summary, run_default, Scenario, ScenarioRun};
+pub use reference::run_serve_reference;
+pub use scenario::{
+    default_scenarios, render_summary, run_default, run_xl, xl_scenarios, Scenario, ScenarioRun,
+};
 pub use server::{run_serve, CostTable, RequestOutcome, ServeConfig, ServeReport};
 pub use workload::{generate, Request, WorkloadConfig};

@@ -1,0 +1,256 @@
+//! The frozen seed scheduler — the equivalence oracle for the
+//! event-driven engine in [`crate::server`].
+//!
+//! This is the original step-scan serving loop, kept verbatim (an
+//! arrival sweep that commits pending cache fills, then an offline
+//! greedy GPU-batching pass over the sorted ready list). It is O(steps
+//! · requests) and supports none of the engine-only features (no miss
+//! coalescing), but it defines the byte-exact semantics the refactor
+//! had to preserve: `tests/equivalence.rs` runs both schedulers over
+//! the four canonical scenarios and requires identical reports,
+//! outcomes, metrics and traces. Do not "improve" this module — its
+//! only job is to never change.
+
+use crate::cache::FeatureCache;
+use crate::server::{CostTable, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS};
+use crate::workload;
+use afsb_rt::obs::{Histogram, ObsSession};
+use afsb_seq::samples::SampleId;
+use std::collections::BTreeSet;
+
+/// Run the serving simulation with the seed step-scan scheduler.
+/// Identical contract to [`crate::server::run_serve`], except that
+/// miss coalescing is not implemented here.
+///
+/// # Panics
+///
+/// Panics when `config.coalesce_misses` is set — the oracle predates
+/// the feature and must not silently diverge from it.
+pub fn run_serve_reference(
+    config: &ServeConfig,
+    costs: &CostTable,
+    obs: &mut ObsSession,
+) -> ServeReport {
+    assert!(config.cpu_workers > 0, "need at least one CPU worker");
+    assert!(config.gpu_batch > 0, "need a GPU batch size of at least 1");
+    assert!(
+        !config.coalesce_misses,
+        "the reference scheduler does not implement miss coalescing"
+    );
+
+    let requests = workload::generate(&config.workload);
+    let mut cache = FeatureCache::new(config.cache_capacity_bytes);
+    if config.prewarm_cache {
+        for entity in 0..config.workload.catalog_size {
+            let shape = costs.shape(workload::sample_for_entity(entity));
+            cache.insert(entity, shape.feature_bytes);
+        }
+    }
+
+    obs.tracer.begin("serve");
+
+    // Phase 1 — MSA / cache. Features computed by a pool worker become
+    // visible to *later* arrivals only once the job is done: pending
+    // inserts are committed in completion order as the arrival sweep
+    // passes them.
+    let mut workers = vec![0.0f64; config.cpu_workers];
+    let mut pending: Vec<(f64, usize, usize, u64)> = Vec::new(); // (done, seq, entity, bytes)
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+    let mut seq = 0usize;
+    for req in &requests {
+        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        while let Some(&(done, _, entity, bytes)) = pending.first() {
+            if done > req.arrival_s {
+                break;
+            }
+            cache.insert(entity, bytes);
+            pending.remove(0);
+        }
+
+        let shape = costs.shape(req.sample);
+        if !shape.admitted {
+            outcomes.push(RequestOutcome {
+                request: *req,
+                cache_hit: false,
+                rejected: true,
+                ready_s: req.arrival_s,
+                done_s: 0.0,
+                deadline_missed: false,
+            });
+            continue;
+        }
+        let (cache_hit, ready_s) = if cache.lookup(req.entity) {
+            (true, req.arrival_s + shape.feature_load_s)
+        } else {
+            let w = workers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .expect("worker pool is non-empty");
+            let start = workers[w].max(req.arrival_s);
+            let done = start + shape.msa_s;
+            workers[w] = done;
+            pending.push((done, seq, req.entity, shape.feature_bytes));
+            seq += 1;
+            (false, done)
+        };
+        outcomes.push(RequestOutcome {
+            request: *req,
+            cache_hit,
+            rejected: false,
+            ready_s,
+            done_s: 0.0,
+            deadline_missed: false,
+        });
+    }
+
+    // Phase 2 — GPU batching over ready requests. Greedy: whenever the
+    // GPU frees up it takes every already-ready request up to B. The
+    // first dispatch pays cold init; each new shape pays its compile.
+    let mut ready: Vec<usize> = (0..outcomes.len())
+        .filter(|&i| !outcomes[i].rejected)
+        .collect();
+    ready.sort_by(|&a, &b| {
+        outcomes[a]
+            .ready_s
+            .partial_cmp(&outcomes[b].ready_s)
+            .unwrap()
+            .then(outcomes[a].request.id.cmp(&outcomes[b].request.id))
+    });
+
+    let mut gpu_free = 0.0f64;
+    let mut gpu_busy = 0.0f64;
+    let mut batches = 0usize;
+    let mut compiled: BTreeSet<SampleId> = BTreeSet::new();
+    let mut inited = false;
+    let mut i = 0usize;
+    while i < ready.len() {
+        let start = gpu_free.max(outcomes[ready[i]].ready_s);
+        let mut take = 1usize;
+        while take < config.gpu_batch
+            && i + take < ready.len()
+            && outcomes[ready[i + take]].ready_s <= start
+        {
+            take += 1;
+        }
+        let batch = &ready[i..i + take];
+
+        // Price the batch first so the enclosing span carries its full
+        // duration when created, then lay the child spans end to end.
+        let pay_init = !inited;
+        let new_shapes: Vec<SampleId> = batch
+            .iter()
+            .map(|&idx| outcomes[idx].request.sample)
+            .filter(|&s| compiled.insert(s))
+            .collect();
+        let service = if pay_init { costs.init_s } else { 0.0 }
+            + costs.dispatch_s
+            + new_shapes
+                .iter()
+                .map(|&s| costs.shape(s).compile_s)
+                .sum::<f64>()
+            + batch
+                .iter()
+                .map(|&idx| costs.shape(outcomes[idx].request.sample).compute_s)
+                .sum::<f64>();
+        let done = start + service;
+
+        let batch_span = obs.tracer.closed_span("gpu_batch", start, service);
+        let mut at = start;
+        if pay_init {
+            inited = true;
+            obs.tracer.child_span(batch_span, "init", at, costs.init_s);
+            at += costs.init_s;
+        }
+        obs.tracer
+            .child_span(batch_span, "dispatch", at, costs.dispatch_s);
+        at += costs.dispatch_s;
+        for &s in &new_shapes {
+            obs.tracer
+                .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
+            at += costs.shape(s).compile_s;
+        }
+        for &idx in batch {
+            let shape = costs.shape(outcomes[idx].request.sample);
+            obs.tracer
+                .child_span(batch_span, "gpu_compute", at, shape.compute_s);
+            at += shape.compute_s;
+        }
+        debug_assert!((at - done).abs() < 1e-9);
+        for &idx in batch {
+            outcomes[idx].done_s = done;
+            outcomes[idx].deadline_missed = config.deadline.exceeded(outcomes[idx].latency_s());
+        }
+        gpu_busy += done - start;
+        gpu_free = done;
+        batches += 1;
+        i += take;
+    }
+
+    // Fold the outcomes into the report + metrics.
+    let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
+    let makespan_s = outcomes
+        .iter()
+        .filter(|o| !o.rejected)
+        .map(|o| o.done_s)
+        .fold(last_arrival, f64::max);
+    let served = outcomes.iter().filter(|o| !o.rejected).count();
+    let rejected = outcomes.len() - served;
+    let deadline_missed = outcomes.iter().filter(|o| o.deadline_missed).count();
+    let throughput_qph = if makespan_s > 0.0 {
+        served as f64 / makespan_s * 3600.0
+    } else {
+        0.0
+    };
+    let gpu_occupancy = if makespan_s > 0.0 {
+        gpu_busy / makespan_s
+    } else {
+        0.0
+    };
+
+    let mut latency_hist = Histogram::new(&LATENCY_BOUNDS);
+    for o in outcomes.iter().filter(|o| !o.rejected) {
+        latency_hist.observe(o.latency_s());
+        obs.metrics
+            .observe("serve.latency_s", o.latency_s(), &LATENCY_BOUNDS);
+    }
+
+    obs.tracer.advance(makespan_s);
+    obs.tracer.end();
+
+    let m = &mut obs.metrics;
+    m.inc("serve.requests", requests.len() as u64);
+    m.inc("serve.served", served as u64);
+    m.inc("serve.rejected", rejected as u64);
+    m.inc("serve.deadline_missed", deadline_missed as u64);
+    m.inc("serve.cache.hits", cache.hits());
+    m.inc("serve.cache.misses", cache.misses());
+    m.inc("serve.cache.evictions", cache.evictions());
+    m.inc("serve.gpu.batches", batches as u64);
+    m.inc("serve.gpu.compiled_shapes", compiled.len() as u64);
+    m.set_gauge("serve.throughput_qph", throughput_qph);
+    m.set_gauge("serve.makespan_s", makespan_s);
+    m.set_gauge("serve.gpu.occupancy", gpu_occupancy);
+    m.set_gauge("serve.cache.hit_rate", cache.hit_rate());
+
+    ServeReport {
+        config: *config,
+        served,
+        rejected,
+        deadline_missed,
+        makespan_s,
+        throughput_qph,
+        gpu_busy_s: gpu_busy,
+        gpu_occupancy,
+        batches,
+        compiled_shapes: compiled.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
+        cache_hit_rate: cache.hit_rate(),
+        cache_coalesced: cache.coalesced(),
+        latency: latency_hist.summary(),
+        outcomes,
+    }
+}

@@ -62,6 +62,7 @@ pub fn default_scenarios(quick: bool) -> Vec<Scenario> {
         cache_capacity_bytes: 64 * GIB,
         prewarm_cache: false,
         deadline: Deadline::new(Some(24.0 * 3600.0)),
+        coalesce_misses: false,
     };
     vec![
         Scenario {
@@ -95,8 +96,77 @@ pub fn default_scenarios(quick: bool) -> Vec<Scenario> {
 
 /// Price the cost table once and run every canonical scenario.
 pub fn run_default(quick: bool) -> Vec<ScenarioRun> {
+    run_set(default_scenarios(quick), quick)
+}
+
+/// The XL scenario set behind `afsysbench serve-xl` — the same four
+/// ablations at production scale: a catalog one to two orders of
+/// magnitude larger, Poisson arrivals an order of magnitude denser, a
+/// wider CPU pool, deeper GPU batches, a three-day deadline, and miss
+/// coalescing on (concurrent misses on a hot entity collapse onto the
+/// in-flight MSA fill instead of each paying the CPU phase). This is
+/// the event engine's scale exercise: ~10× the canonical stream in
+/// quick mode, ~100× in full mode, all through one event queue.
+pub fn xl_scenarios(quick: bool) -> Vec<Scenario> {
+    let workload = WorkloadConfig {
+        num_requests: if quick { 10_000 } else { 100_000 },
+        catalog_size: if quick { 500 } else { 2_000 },
+        arrival_rate_per_s: 1.0,
+        zipf_exponent: 1.1,
+        seed: SERVE_SEED,
+    };
+    let base = ServeConfig {
+        platform: Platform::Server,
+        workload,
+        cpu_workers: 64,
+        gpu_batch: 8,
+        cache_capacity_bytes: 256 * GIB,
+        prewarm_cache: false,
+        deadline: Deadline::new(Some(72.0 * 3600.0)),
+        coalesce_misses: true,
+    };
+    vec![
+        Scenario {
+            name: "cold",
+            config: base,
+        },
+        Scenario {
+            // The whole cache subsystem is off — no capacity AND no
+            // coalescing — so every request pays the CPU phase, the
+            // ablation the canonical `nocache` scenario prices.
+            name: "nocache",
+            config: ServeConfig {
+                cache_capacity_bytes: 0,
+                coalesce_misses: false,
+                ..base
+            },
+        },
+        Scenario {
+            name: "warm",
+            config: ServeConfig {
+                prewarm_cache: true,
+                ..base
+            },
+        },
+        Scenario {
+            name: "warm_b1",
+            config: ServeConfig {
+                prewarm_cache: true,
+                gpu_batch: 1,
+                ..base
+            },
+        },
+    ]
+}
+
+/// Price the cost table once and run every XL scenario.
+pub fn run_xl(quick: bool) -> Vec<ScenarioRun> {
+    run_set(xl_scenarios(quick), quick)
+}
+
+fn run_set(scenarios: Vec<Scenario>, quick: bool) -> Vec<ScenarioRun> {
     let costs = CostTable::build(Platform::Server, quick, 4, SERVE_SEED);
-    default_scenarios(quick)
+    scenarios
         .into_iter()
         .map(|scenario| {
             let mut obs = ObsSession::new();
@@ -173,5 +243,22 @@ mod tests {
         for s in &scenarios {
             assert_eq!(s.config.workload, by_name("cold").workload);
         }
+    }
+
+    #[test]
+    fn xl_set_mirrors_the_canonical_ablations_at_scale() {
+        let xl = xl_scenarios(true);
+        let names: Vec<&str> = xl.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["cold", "nocache", "warm", "warm_b1"]);
+        for s in &xl {
+            assert!(s.config.workload.num_requests >= 10_000);
+            assert_eq!(
+                s.config.coalesce_misses,
+                s.name != "nocache",
+                "coalescing is part of the cache subsystem: on everywhere but nocache"
+            );
+            assert_eq!(s.config.workload, xl[0].config.workload);
+        }
+        assert!(xl_scenarios(false)[0].config.workload.num_requests >= 100_000);
     }
 }

@@ -21,8 +21,13 @@
 //!   (reusing [`CapacityModel`]), and every served request is checked
 //!   against a per-request [`Deadline`].
 //!
-//! The simulation is a deterministic discrete-event sweep on simulated
-//! seconds: same seed, same config, byte-identical report.
+//! The simulation runs on the shared discrete-event engine
+//! ([`afsb_rt::sim::SimEngine`]): one `(time, seq)`-ordered queue
+//! carries arrivals, MSA completions, cache fills, GPU batch closes
+//! and deadline timers, costing O(events · log n) instead of a
+//! per-step rescan. Same seed, same config, byte-identical report —
+//! and bit-identical to the frozen seed scheduler kept in
+//! [`crate::reference`] (enforced by `tests/equivalence.rs`).
 
 use crate::cache::FeatureCache;
 use crate::workload::{self, Request, WorkloadConfig};
@@ -34,6 +39,7 @@ use afsb_core::resilience::Deadline;
 use afsb_gpu::runtime::{GpuRuntime, HostCpuModel};
 use afsb_model::{run_inference, ModelConfig};
 use afsb_rt::obs::{Histogram, HistogramSummary, ObsSession};
+use afsb_rt::sim::{Event, SimEngine, TimerId};
 use afsb_seq::samples::SampleId;
 use afsb_simarch::config::GIB;
 use afsb_simarch::memory::CapacityModel;
@@ -72,6 +78,12 @@ pub struct ServeConfig {
     pub prewarm_cache: bool,
     /// Per-request latency deadline.
     pub deadline: Deadline,
+    /// Coalesce concurrent misses for the same entity: instead of
+    /// duplicating the MSA search, the second miss waits on the
+    /// in-flight fill (readiness via a `CacheFill` event) and counts as
+    /// a coalesced cache hit. Off by default — the canonical scenarios
+    /// predate the feature and their baselines must not move.
+    pub coalesce_misses: bool,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +96,7 @@ impl Default for ServeConfig {
             cache_capacity_bytes: 64 * GIB,
             prewarm_cache: false,
             deadline: Deadline::new(Some(3.0 * 86400.0)),
+            coalesce_misses: false,
         }
     }
 }
@@ -262,6 +275,9 @@ pub struct ServeReport {
     pub cache_evictions: u64,
     /// Cache hit rate over lookups.
     pub cache_hit_rate: f64,
+    /// Hits that piggybacked on an in-flight fill (always `0` unless
+    /// `coalesce_misses` is on).
+    pub cache_coalesced: u64,
     /// Latency distribution of served requests (`None` when none).
     pub latency: Option<HistogramSummary>,
 }
@@ -273,7 +289,7 @@ impl ServeReport {
         let w = &self.config.workload;
         let _ = writeln!(
             out,
-            "serve: {} requests over {} entities on {} (workers {}, batch {}, cache {} GiB{})",
+            "serve: {} requests over {} entities on {} (workers {}, batch {}, cache {} GiB{}{})",
             w.num_requests,
             w.catalog_size,
             self.config.platform,
@@ -282,6 +298,11 @@ impl ServeReport {
             self.config.cache_capacity_bytes / GIB,
             if self.config.prewarm_cache {
                 ", prewarmed"
+            } else {
+                ""
+            },
+            if self.config.coalesce_misses {
+                ", coalescing"
             } else {
                 ""
             }
@@ -293,11 +314,16 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "  cache: {:.1}% hit rate ({} hits / {} misses, {} evictions)",
+            "  cache: {:.1}% hit rate ({} hits / {} misses, {} evictions{})",
             self.cache_hit_rate * 100.0,
             self.cache_hits,
             self.cache_misses,
-            self.cache_evictions
+            self.cache_evictions,
+            if self.config.coalesce_misses {
+                format!(", {} coalesced", self.cache_coalesced)
+            } else {
+                String::new()
+            }
         );
         let _ = writeln!(
             out,
@@ -326,6 +352,17 @@ impl ServeReport {
 /// Run the serving simulation. The tracer in `obs` must be fresh (the
 /// run lays its spans from simulated second 0); counters, gauges and
 /// the latency histogram are published into `obs.metrics`.
+///
+/// Since the `rt::sim` refactor the scheduler is event-driven: one
+/// [`SimEngine`] queue carries `Arrival` → (`MsaDone` | `CacheFill`) →
+/// `BatchClose` → `GpuDone` chains plus cancellable `DeadlineExpired`
+/// timers, so a run costs O(events · log n) instead of a per-step
+/// rescan. Every arithmetic expression, comparator and span-creation
+/// order is kept identical to the seed step-scan loop (frozen in
+/// [`crate::reference`]), so same-seed runs are byte-identical to it —
+/// `tests/equivalence.rs` enforces this on the canonical scenarios.
+/// See DESIGN.md ("Event engine") for the event taxonomy and the
+/// tie-breaking argument.
 pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) -> ServeReport {
     assert!(config.cpu_workers > 0, "need at least one CPU worker");
     assert!(config.gpu_batch > 0, "need a GPU batch size of at least 1");
@@ -341,143 +378,250 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
 
     obs.tracer.begin("serve");
 
-    // Phase 1 — MSA / cache. Features computed by a pool worker become
-    // visible to *later* arrivals only once the job is done: pending
-    // inserts are committed in completion order as the arrival sweep
-    // passes them.
-    let mut workers = vec![0.0f64; config.cpu_workers];
-    let mut pending: Vec<(f64, usize, usize, u64)> = Vec::new(); // (done, seq, entity, bytes)
+    let mut engine = SimEngine::new();
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
-    let mut seq = 0usize;
-    for req in &requests {
-        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        while let Some(&(done, _, entity, bytes)) = pending.first() {
-            if done > req.arrival_s {
-                break;
-            }
-            cache.insert(entity, bytes);
-            pending.remove(0);
-        }
-
-        let shape = costs.shape(req.sample);
-        if !shape.admitted {
-            outcomes.push(RequestOutcome {
-                request: *req,
-                cache_hit: false,
-                rejected: true,
-                ready_s: req.arrival_s,
-                done_s: 0.0,
-                deadline_missed: false,
-            });
-            continue;
-        }
-        let (cache_hit, ready_s) = if cache.lookup(req.entity) {
-            (true, req.arrival_s + shape.feature_load_s)
-        } else {
-            let w = workers
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-                .map(|(i, _)| i)
-                .expect("worker pool is non-empty");
-            let start = workers[w].max(req.arrival_s);
-            let done = start + shape.msa_s;
-            workers[w] = done;
-            pending.push((done, seq, req.entity, shape.feature_bytes));
-            seq += 1;
-            (false, done)
-        };
-        outcomes.push(RequestOutcome {
-            request: *req,
-            cache_hit,
-            rejected: false,
-            ready_s,
-            done_s: 0.0,
-            deadline_missed: false,
-        });
-    }
-
-    // Phase 2 — GPU batching over ready requests. Greedy: whenever the
-    // GPU frees up it takes every already-ready request up to B. The
-    // first dispatch pays cold init; each new shape pays its compile.
-    let mut ready: Vec<usize> = (0..outcomes.len())
-        .filter(|&i| !outcomes[i].rejected)
-        .collect();
-    ready.sort_by(|&a, &b| {
-        outcomes[a]
-            .ready_s
-            .partial_cmp(&outcomes[b].ready_s)
-            .unwrap()
-            .then(outcomes[a].request.id.cmp(&outcomes[b].request.id))
-    });
-
+    let mut workers = vec![0.0f64; config.cpu_workers];
+    // Fills still being computed by a pool worker: entity → MSA done
+    // time. Read only when coalescing is on.
+    let mut in_flight: BTreeMap<usize, f64> = BTreeMap::new();
+    // Ready-but-unserved outcome indices (outcome index == request id).
+    let mut pool: Vec<usize> = Vec::new();
+    let mut deadline_timers: Vec<Option<TimerId>> = vec![None; requests.len()];
     let mut gpu_free = 0.0f64;
     let mut gpu_busy = 0.0f64;
     let mut batches = 0usize;
     let mut compiled: BTreeSet<SampleId> = BTreeSet::new();
     let mut inited = false;
-    let mut i = 0usize;
-    while i < ready.len() {
-        let start = gpu_free.max(outcomes[ready[i]].ready_s);
-        let mut take = 1usize;
-        while take < config.gpu_batch
-            && i + take < ready.len()
-            && outcomes[ready[i + take]].ready_s <= start
-        {
-            take += 1;
-        }
-        let batch = &ready[i..i + take];
 
-        // Price the batch first so the enclosing span carries its full
-        // duration when created, then lay the child spans end to end.
-        let pay_init = !inited;
-        let new_shapes: Vec<SampleId> = batch
-            .iter()
-            .map(|&idx| outcomes[idx].request.sample)
-            .filter(|&s| compiled.insert(s))
-            .collect();
-        let service = if pay_init { costs.init_s } else { 0.0 }
-            + costs.dispatch_s
-            + new_shapes
-                .iter()
-                .map(|&s| costs.shape(s).compile_s)
-                .sum::<f64>()
-            + batch
-                .iter()
-                .map(|&idx| costs.shape(outcomes[idx].request.sample).compute_s)
-                .sum::<f64>();
-        let done = start + service;
+    if let Some(first) = requests.first() {
+        engine.schedule(first.arrival_s, Event::Arrival { request: 0 });
+    }
 
-        let batch_span = obs.tracer.closed_span("gpu_batch", start, service);
-        let mut at = start;
-        if pay_init {
-            inited = true;
-            obs.tracer.child_span(batch_span, "init", at, costs.init_s);
-            at += costs.init_s;
+    while let Some((now, event)) = engine.pop() {
+        match event {
+            // Admission, cache lookup and CPU dispatch — the seed
+            // scheduler's per-arrival sweep body. Arrivals are chained
+            // lazily (each handler schedules the next) so every
+            // readiness event carries a lower sequence number than any
+            // later arrival: an MSA job finishing exactly at a future
+            // arrival's timestamp pops first, reproducing the sweep's
+            // inclusive `done <= arrival` fill-commit rule.
+            Event::Arrival { request } => {
+                let req = &requests[request];
+                let shape = costs.shape(req.sample);
+                if !shape.admitted {
+                    outcomes.push(RequestOutcome {
+                        request: *req,
+                        cache_hit: false,
+                        rejected: true,
+                        ready_s: req.arrival_s,
+                        done_s: 0.0,
+                        deadline_missed: false,
+                    });
+                } else {
+                    let coalesce = config.coalesce_misses
+                        && !cache.contains(req.entity)
+                        && in_flight.contains_key(&req.entity);
+                    let (cache_hit, ready_s) = if coalesce {
+                        // Piggyback on the in-flight fill instead of
+                        // duplicating the MSA search: ready when the
+                        // fill lands plus one storage-priced load.
+                        cache.coalesced_hit();
+                        let ready = in_flight[&req.entity] + shape.feature_load_s;
+                        engine.schedule(
+                            ready,
+                            Event::CacheFill {
+                                request,
+                                entity: req.entity,
+                            },
+                        );
+                        (true, ready)
+                    } else if cache.lookup(req.entity) {
+                        let ready = req.arrival_s + shape.feature_load_s;
+                        engine.schedule(
+                            ready,
+                            Event::CacheFill {
+                                request,
+                                entity: req.entity,
+                            },
+                        );
+                        (true, ready)
+                    } else {
+                        let w = workers
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                            .map(|(i, _)| i)
+                            .expect("worker pool is non-empty");
+                        let start = workers[w].max(req.arrival_s);
+                        let done = start + shape.msa_s;
+                        workers[w] = done;
+                        in_flight.insert(req.entity, done);
+                        engine.schedule(done, Event::MsaDone { request, worker: w });
+                        (false, done)
+                    };
+                    outcomes.push(RequestOutcome {
+                        request: *req,
+                        cache_hit,
+                        rejected: false,
+                        ready_s,
+                        done_s: 0.0,
+                        deadline_missed: false,
+                    });
+                    if let Some(limit) = config.deadline.limit_seconds() {
+                        deadline_timers[request] =
+                            Some(engine.schedule(
+                                req.arrival_s + limit,
+                                Event::DeadlineExpired { request },
+                            ));
+                    }
+                }
+                if request + 1 < requests.len() {
+                    engine.schedule(
+                        requests[request + 1].arrival_s,
+                        Event::Arrival {
+                            request: request + 1,
+                        },
+                    );
+                }
+            }
+
+            // A pool worker finished: the features enter the cache and
+            // the request becomes GPU-ready. The seed sweep only ever
+            // committed fills that a later arrival passed, so once the
+            // stream has drained (`outcomes` holds every request) the
+            // insert is skipped — keeping the eviction counters
+            // bit-identical to it.
+            Event::MsaDone { request, .. } => {
+                let req = &requests[request];
+                if outcomes.len() < requests.len() {
+                    cache.insert(req.entity, costs.shape(req.sample).feature_bytes);
+                }
+                in_flight.remove(&req.entity);
+                pool.push(request);
+                if now >= gpu_free {
+                    engine.schedule(now, Event::BatchClose);
+                }
+            }
+
+            // A cached (or coalesced) feature load finished — the
+            // request becomes GPU-ready.
+            Event::CacheFill { request, .. } => {
+                pool.push(request);
+                if now >= gpu_free {
+                    engine.schedule(now, Event::BatchClose);
+                }
+            }
+
+            // The GPU takes everything ready by `now`, up to B — the
+            // seed scheduler's greedy batch body, priced and traced
+            // with the identical expressions so floats and span order
+            // match bit-for-bit. A close always pops after every
+            // same-timestamp readiness event (higher sequence number),
+            // so the pool is complete; duplicate closes fall through
+            // the guard.
+            Event::BatchClose => {
+                if pool.is_empty() || now < gpu_free {
+                    continue;
+                }
+                pool.sort_by(|&a, &b| {
+                    outcomes[a]
+                        .ready_s
+                        .partial_cmp(&outcomes[b].ready_s)
+                        .unwrap()
+                        .then(outcomes[a].request.id.cmp(&outcomes[b].request.id))
+                });
+                let start = gpu_free.max(outcomes[pool[0]].ready_s);
+                let mut take = 1usize;
+                while take < config.gpu_batch
+                    && take < pool.len()
+                    && outcomes[pool[take]].ready_s <= start
+                {
+                    take += 1;
+                }
+                let batch: Vec<usize> = pool.drain(..take).collect();
+
+                // Price the batch first so the enclosing span carries
+                // its full duration when created, then lay the child
+                // spans end to end.
+                let pay_init = !inited;
+                let new_shapes: Vec<SampleId> = batch
+                    .iter()
+                    .map(|&idx| outcomes[idx].request.sample)
+                    .filter(|&s| compiled.insert(s))
+                    .collect();
+                let service = if pay_init { costs.init_s } else { 0.0 }
+                    + costs.dispatch_s
+                    + new_shapes
+                        .iter()
+                        .map(|&s| costs.shape(s).compile_s)
+                        .sum::<f64>()
+                    + batch
+                        .iter()
+                        .map(|&idx| costs.shape(outcomes[idx].request.sample).compute_s)
+                        .sum::<f64>();
+                let done = start + service;
+
+                let batch_span = obs.tracer.closed_span("gpu_batch", start, service);
+                let mut at = start;
+                if pay_init {
+                    inited = true;
+                    obs.tracer.child_span(batch_span, "init", at, costs.init_s);
+                    at += costs.init_s;
+                }
+                obs.tracer
+                    .child_span(batch_span, "dispatch", at, costs.dispatch_s);
+                at += costs.dispatch_s;
+                for &s in &new_shapes {
+                    obs.tracer
+                        .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
+                    at += costs.shape(s).compile_s;
+                }
+                for &idx in &batch {
+                    let shape = costs.shape(outcomes[idx].request.sample);
+                    obs.tracer
+                        .child_span(batch_span, "gpu_compute", at, shape.compute_s);
+                    at += shape.compute_s;
+                }
+                debug_assert!((at - done).abs() < 1e-9);
+                for &idx in &batch {
+                    outcomes[idx].done_s = done;
+                    outcomes[idx].deadline_missed =
+                        config.deadline.exceeded(outcomes[idx].latency_s());
+                    // A met deadline disarms its timer; a missed one is
+                    // left to fire (the completion already re-derived
+                    // the flag with the seed expression, so the timer
+                    // is redundant but harmless).
+                    if !outcomes[idx].deadline_missed {
+                        if let Some(timer) = deadline_timers[idx].take() {
+                            engine.cancel(timer);
+                        }
+                    }
+                }
+                gpu_busy += done - start;
+                gpu_free = done;
+                batches += 1;
+                engine.schedule(done, Event::GpuDone { batch: batches });
+            }
+
+            // The GPU freed up: if anything queued meanwhile, close the
+            // next batch immediately.
+            Event::GpuDone { .. } => {
+                if !pool.is_empty() {
+                    engine.schedule(now, Event::BatchClose);
+                }
+            }
+
+            // An armed deadline elapsed without being cancelled. For
+            // requests still queued the completion handler later
+            // re-derives the flag; for ones already served past their
+            // budget this confirms the same value.
+            Event::DeadlineExpired { request } => {
+                outcomes[request].deadline_missed = true;
+            }
+
+            Event::Fault(_) => unreachable!("the server schedules no fault events"),
         }
-        obs.tracer
-            .child_span(batch_span, "dispatch", at, costs.dispatch_s);
-        at += costs.dispatch_s;
-        for &s in &new_shapes {
-            obs.tracer
-                .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
-            at += costs.shape(s).compile_s;
-        }
-        for &idx in batch {
-            let shape = costs.shape(outcomes[idx].request.sample);
-            obs.tracer
-                .child_span(batch_span, "gpu_compute", at, shape.compute_s);
-            at += shape.compute_s;
-        }
-        debug_assert!((at - done).abs() < 1e-9);
-        for &idx in batch {
-            outcomes[idx].done_s = done;
-            outcomes[idx].deadline_missed = config.deadline.exceeded(outcomes[idx].latency_s());
-        }
-        gpu_busy += done - start;
-        gpu_free = done;
-        batches += 1;
-        i += take;
     }
 
     // Fold the outcomes into the report + metrics.
@@ -519,6 +663,9 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
     m.inc("serve.cache.hits", cache.hits());
     m.inc("serve.cache.misses", cache.misses());
     m.inc("serve.cache.evictions", cache.evictions());
+    if config.coalesce_misses {
+        m.inc("serve.cache.coalesced", cache.coalesced());
+    }
     m.inc("serve.gpu.batches", batches as u64);
     m.inc("serve.gpu.compiled_shapes", compiled.len() as u64);
     m.set_gauge("serve.throughput_qph", throughput_qph);
@@ -541,6 +688,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
         cache_misses: cache.misses(),
         cache_evictions: cache.evictions(),
         cache_hit_rate: cache.hit_rate(),
+        cache_coalesced: cache.coalesced(),
         latency: latency_hist.summary(),
         outcomes,
     }
@@ -691,6 +839,47 @@ mod tests {
             "gpu busy {} vs expected {expected}",
             r.gpu_busy_s
         );
+    }
+
+    #[test]
+    fn coalescing_concurrent_misses_improves_hit_rate_and_throughput() {
+        // Cold cache + slow MSA: popular entities miss repeatedly while
+        // the first fill is still in flight, so coalescing turns the
+        // duplicate searches into waits on the in-flight fill.
+        let off = run(&base_config());
+        let on = run(&ServeConfig {
+            coalesce_misses: true,
+            ..base_config()
+        });
+        assert_eq!(off.cache_coalesced, 0);
+        assert!(on.cache_coalesced > 0, "no concurrent misses to coalesce");
+        assert!(
+            on.cache_hit_rate > off.cache_hit_rate,
+            "hit rate must improve: {} vs {}",
+            on.cache_hit_rate,
+            off.cache_hit_rate
+        );
+        assert!(
+            on.throughput_qph > off.throughput_qph,
+            "qph must improve: {} vs {}",
+            on.throughput_qph,
+            off.throughput_qph
+        );
+        assert!(on.render().contains("coalesced"));
+
+        // Steady state (prewarmed cache) has no misses to coalesce:
+        // the flag must be a no-op there.
+        let warm = ServeConfig {
+            prewarm_cache: true,
+            ..base_config()
+        };
+        let warm_on = run(&ServeConfig {
+            coalesce_misses: true,
+            ..warm
+        });
+        let warm_off = run(&warm);
+        assert_eq!(warm_on.cache_coalesced, 0);
+        assert_eq!(warm_on.outcomes, warm_off.outcomes);
     }
 
     #[test]
