@@ -21,9 +21,13 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 # Chaos determinism sweep: re-run the fault-injection suite under three
 # fixed seeds. The suite asserts that every seeded plan reaches the same
 # terminal outcome with byte-identical reports on repeat runs, and that
-# a fault-free plan reproduces the baseline pipeline exactly.
+# a fault-free plan reproduces the baseline pipeline exactly. The
+# chaos_serving suite rides the same seeds: every seeded fault schedule
+# over the serving engine must conserve requests (admitted = completed +
+# degraded + shed + failed) and wake coalesced waiters exactly once.
 for seed in 101 202 303; do
     run env AFSB_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
+    run env AFSB_CHAOS_SEED="$seed" cargo test -q --offline -p afsb-serve --test chaos_serving
 done
 
 # Trace determinism gate: the traced pipeline example must emit
@@ -44,7 +48,7 @@ run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 # show up as an intentional update to results/quick/, not silently.
 golden_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
-GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl)
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl serve-chaos)
 run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
 for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
     run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
@@ -79,5 +83,16 @@ run target/release/afsysbench profile serve-xl --quick --out "$golden_dir/perf-a
 run target/release/afsysbench profile serve-xl --quick --out "$golden_dir/perf-b" > /dev/null
 run cmp "$golden_dir/perf-a/BENCH_serve_xl.json" "$golden_dir/perf-b/BENCH_serve_xl.json"
 run target/release/afsysbench perf-diff results/BENCH_serve_xl.json "$golden_dir/perf-a/BENCH_serve_xl.json"
+
+# Chaos-serving SLO gate: the fault-injection matrix must be
+# byte-deterministic across two same-seed profiles and stay within
+# tolerance of the committed baseline — availability, goodput and
+# disposition counts per scenario. The strict SLO orderings themselves
+# (baseline > each chaos scenario > kitchen-sink) are asserted by the
+# chaos_serving suite above.
+run target/release/afsysbench profile serve-chaos --quick --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve-chaos --quick --out "$golden_dir/perf-b" > /dev/null
+run cmp "$golden_dir/perf-a/BENCH_serve_chaos.json" "$golden_dir/perf-b/BENCH_serve_chaos.json"
+run target/release/afsysbench perf-diff results/BENCH_serve_chaos.json "$golden_dir/perf-a/BENCH_serve_chaos.json"
 
 echo "==> tier-1 gate passed"

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! afsysbench <experiment...|all> [--quick] [--out DIR]
-//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl>... [--quick] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl|serve-chaos>... [--quick] [--out DIR]
 //! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
@@ -18,7 +18,10 @@
 //! the cross-scenario throughput/latency summary. `serve-xl` runs the
 //! same ablations at production scale — a 10k-request (quick) /
 //! 100k-request (full) Poisson/Zipf stream with miss coalescing on —
-//! through the event-driven scheduler.
+//! through the event-driven scheduler. `serve-chaos` runs the canonical
+//! fault-injection matrix (baseline, worker-churn, storage-brownout,
+//! gpu-flap, kitchen-sink) with the recovery policy on and prints
+//! availability, goodput and per-disposition counts per scenario.
 //!
 //! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
 //! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
@@ -56,6 +59,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "serve",
     "serve-xl",
+    "serve-chaos",
 ];
 
 fn usage() -> ! {
@@ -94,6 +98,7 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "recommend" => harness.recommend(),
         "serve" => harness.serve(),
         "serve-xl" => harness.serve_xl(),
+        "serve-chaos" => harness.serve_chaos(),
         "trace" => {
             let (mut text, trace, flame) = harness.trace(17);
             let trace_path = PathBuf::from(

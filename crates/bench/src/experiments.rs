@@ -661,4 +661,13 @@ impl Harness {
         let runs = afsb_serve::scenario::run_xl(self.quick);
         afsb_serve::scenario::render_summary(&runs)
     }
+
+    /// Serving under faults: the canonical chaos matrix (fault-free
+    /// baseline, worker churn, storage brownout, GPU flap, kitchen
+    /// sink) with the recovery policy on — availability, goodput and
+    /// per-disposition counts per scenario.
+    pub fn serve_chaos(&self) -> String {
+        let runs = afsb_serve::chaos::run_chaos(self.quick);
+        afsb_serve::chaos::render_chaos_summary(&runs)
+    }
 }

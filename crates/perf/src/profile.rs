@@ -15,6 +15,10 @@
 //! * `serve-xl` — the same ablations at production scale (10k requests
 //!   quick, 100k full; 500–2000 entity catalog, 64 workers, batch 8,
 //!   miss coalescing on) — the event engine's scale exercise.
+//! * `serve-chaos` — the canonical fault-injection matrix (fault-free
+//!   baseline, worker-churn, storage-brownout, gpu-flap, kitchen-sink)
+//!   with the recovery policy on, yielding per-scenario availability,
+//!   goodput, disposition counts and fault/lost-time accounting.
 //!
 //! All are fully deterministic: the same seed and mode produce a
 //! byte-identical baseline file.
@@ -35,7 +39,8 @@ use afsb_simarch::Platform;
 use std::fmt::Write as _;
 
 /// Experiments `afsysbench profile` understands.
-pub const PROFILE_EXPERIMENTS: [&str; 4] = ["pipeline", "msa-sweep", "serve", "serve-xl"];
+pub const PROFILE_EXPERIMENTS: [&str; 5] =
+    ["pipeline", "msa-sweep", "serve", "serve-xl", "serve-chaos"];
 
 /// Seed shared by the profiled runs (matches the bench harness).
 pub const PROFILE_SEED: u64 = 17;
@@ -68,6 +73,7 @@ pub fn run_profile(experiment: &str, quick: bool) -> Result<ProfileArtifacts, St
         "msa-sweep" => Ok(profile_msa_sweep(quick)),
         "serve" => Ok(profile_serve(quick)),
         "serve-xl" => Ok(profile_serve_xl(quick)),
+        "serve-chaos" => Ok(profile_serve_chaos(quick)),
         other => Err(format!(
             "unknown profile experiment `{other}` (available: {})",
             PROFILE_EXPERIMENTS.join(", ")
@@ -262,6 +268,50 @@ pub fn profile_serve_xl(quick: bool) -> ProfileArtifacts {
     serve_artifacts("serve-xl", afsb_serve::scenario::run_xl(quick), quick)
 }
 
+/// Profile the serve-chaos matrix — the canonical fault-injection
+/// scenarios with the recovery policy on. Metrics are prefixed per
+/// scenario (`kitchen-sink.goodput`, …); the sampled profile covers
+/// the kitchen-sink trace, the fault-richest scenario.
+pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
+    let runs = afsb_serve::chaos::run_chaos(quick);
+    let mut metrics = Vec::new();
+    for run in &runs {
+        let r = &run.report;
+        let p = run.name;
+        metrics.push((format!("{p}.availability"), r.availability));
+        metrics.push((format!("{p}.goodput"), r.goodput));
+        metrics.push((format!("{p}.completed"), r.completed as f64));
+        metrics.push((format!("{p}.degraded"), r.degraded as f64));
+        metrics.push((format!("{p}.shed"), r.shed as f64));
+        metrics.push((format!("{p}.failed"), r.failed as f64));
+        metrics.push((format!("{p}.requeues"), r.requeues as f64));
+        metrics.push((format!("{p}.faults"), r.fault_events.len() as f64));
+        metrics.push((format!("{p}.lost_s"), r.lost_seconds));
+        metrics.push((format!("{p}.qph"), r.base.throughput_qph));
+        metrics.push((format!("wall.{p}_makespan_s"), r.base.makespan_s));
+    }
+
+    let sink = runs.last().expect("chaos matrix is non-empty");
+    let sampled = SampledProfile::capture_n(&sink.obs.tracer, DEFAULT_SAMPLES);
+
+    let mut report_text = afsb_serve::chaos::render_chaos_summary(&runs);
+    report_text.push('\n');
+    report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    ProfileArtifacts {
+        baseline: PerfBaseline {
+            experiment: "serve-chaos".to_owned(),
+            seed: afsb_serve::scenario::SERVE_SEED,
+            quick,
+            metrics,
+            symbol_tables: Vec::new(),
+            sampled: SampledSummary::from_profile(&sampled, SAMPLED_TOP_N),
+        },
+        report_text,
+        collapsed: sampled.collapsed(),
+    }
+}
+
 fn serve_artifacts(
     experiment: &str,
     runs: Vec<afsb_serve::ScenarioRun>,
@@ -328,6 +378,36 @@ mod tests {
         assert_eq!(baseline_file_name("msa-sweep"), "BENCH_msa_sweep.json");
         assert_eq!(baseline_file_name("serve"), "BENCH_serve.json");
         assert_eq!(baseline_file_name("serve-xl"), "BENCH_serve_xl.json");
+        assert_eq!(baseline_file_name("serve-chaos"), "BENCH_serve_chaos.json");
+    }
+
+    #[test]
+    fn quick_serve_chaos_profile_covers_every_scenario() {
+        let a = profile_serve_chaos(true);
+        for scenario in [
+            "baseline",
+            "worker-churn",
+            "storage-brownout",
+            "gpu-flap",
+            "kitchen-sink",
+        ] {
+            for metric in ["availability", "goodput", "completed"] {
+                assert!(
+                    a.baseline.metric(&format!("{scenario}.{metric}")).is_some(),
+                    "{scenario}.{metric} missing"
+                );
+            }
+            assert!(a
+                .baseline
+                .metric(&format!("wall.{scenario}_makespan_s"))
+                .is_some());
+        }
+        assert_eq!(a.baseline.metric("baseline.faults"), Some(0.0));
+        assert!(a.baseline.metric("kitchen-sink.faults").unwrap() > 0.0);
+        assert!(a.baseline.sampled.total_samples > 0);
+        assert!(a.report_text.contains("kitchen-sink"));
+        assert!(a.collapsed.contains("gpu_batch"));
+        assert_eq!(a.baseline.experiment, "serve-chaos");
     }
 
     #[test]

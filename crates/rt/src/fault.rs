@@ -201,6 +201,14 @@ impl FaultPlan {
     /// Build the injector that delivers this plan: every fault becomes a
     /// scheduled [`Event::Fault`] on a fresh [`SimEngine`] at its
     /// `not_before_s` time.
+    ///
+    /// A plan is reusable; an injector is **not**. Each call builds a
+    /// brand-new injector with its own engine and clock at simulated
+    /// second zero, so a plan that outlives one scenario run delivers
+    /// the identical fault sequence to the next run — build one
+    /// injector *per run*, never share one across runs (see
+    /// [`FaultInjector::sync_to`] for why a shared injector would
+    /// misdeliver).
     pub fn injector(&self) -> FaultInjector {
         let mut engine = SimEngine::new();
         let mut future = Vec::new();
@@ -279,6 +287,18 @@ impl FaultInjector {
     /// Move the clock forward to an absolute simulated time (never
     /// backwards) — lets a runner that owns its own [`SimEngine`] keep
     /// the injector on the shared clock exactly.
+    ///
+    /// The clock is **monotone across the injector's whole life**: it
+    /// never rewinds, and a fault is consumed at most once. An injector
+    /// must therefore serve exactly one scenario run. Reusing one for a
+    /// second run would (a) start the second run's clock at the first
+    /// run's end, so every still-pending fault whose `not_before_s` has
+    /// "already passed" fires on the first poll, and (b) never re-fire
+    /// the faults the first run consumed. To run several scenarios from
+    /// one [`FaultPlan`], call [`FaultPlan::injector`] once per run —
+    /// the regression test
+    /// `reusing_a_plan_across_runs_does_not_double_fire` pins this
+    /// contract down.
     pub fn sync_to(&mut self, clock_s: f64) {
         self.engine.advance_to(clock_s);
         self.drain_due();
@@ -441,6 +461,51 @@ mod tests {
             .windows(2)
             .any(|w| w[0] != w[1]);
         assert!(distinct, "different seeds should produce different plans");
+    }
+
+    #[test]
+    fn reusing_a_plan_across_runs_does_not_double_fire() {
+        // One plan, two runs: each run builds its own injector and sees
+        // the full fault sequence exactly once, from clock zero.
+        let plan = FaultPlan::none()
+            .with_at(FaultKind::StorageReadError, 50.0)
+            .with_at(FaultKind::GpuInitFailure, 200.0);
+        for _run in 0..2 {
+            let mut inj = plan.injector();
+            assert_eq!(inj.clock_seconds(), 0.0, "fresh injector starts at 0");
+            assert_eq!(inj.poll(FaultSite::Storage), None, "not due yet");
+            inj.sync_to(100.0);
+            assert_eq!(
+                inj.poll(FaultSite::Storage),
+                Some(FaultKind::StorageReadError)
+            );
+            assert_eq!(inj.poll(FaultSite::GpuInit), None);
+            inj.sync_to(500.0);
+            assert_eq!(
+                inj.poll(FaultSite::GpuInit),
+                Some(FaultKind::GpuInitFailure)
+            );
+            // Consumed: the same injector never re-delivers.
+            assert_eq!(inj.poll(FaultSite::Storage), None);
+            assert_eq!(inj.poll(FaultSite::GpuInit), None);
+            assert_eq!(inj.events().len(), 2, "each run fires each fault once");
+        }
+        // A *shared* injector would misdeliver run 2: clock stuck at the
+        // end of run 1 and nothing left to fire.
+        let mut shared = plan.injector();
+        shared.sync_to(500.0);
+        assert_eq!(
+            shared.poll(FaultSite::Storage),
+            Some(FaultKind::StorageReadError)
+        );
+        assert_eq!(
+            shared.poll(FaultSite::GpuInit),
+            Some(FaultKind::GpuInitFailure)
+        );
+        shared.sync_to(500.0); // "run 2" on the same injector
+        assert_eq!(shared.poll(FaultSite::Storage), None);
+        assert_eq!(shared.poll(FaultSite::GpuInit), None);
+        assert_eq!(shared.events().len(), 2, "nothing re-fires on reuse");
     }
 
     #[test]

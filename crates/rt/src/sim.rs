@@ -95,6 +95,15 @@ pub enum Event {
     },
     /// A scheduled fault becomes deliverable ([`crate::fault`]).
     Fault(FaultKind),
+    /// A retry backoff elapsed: `request` re-enters dispatch (the
+    /// serving recovery layer's requeue path).
+    Requeue {
+        /// The request whose retry backoff expired.
+        request: usize,
+    },
+    /// A worker-pool circuit breaker's cooldown elapsed — the circuit
+    /// half-closes and parked requests re-dispatch.
+    BreakerClose,
 }
 
 impl Event {
@@ -108,6 +117,8 @@ impl Event {
             Event::GpuDone { .. } => "gpu-done",
             Event::DeadlineExpired { .. } => "deadline-expired",
             Event::Fault(kind) => kind.label(),
+            Event::Requeue { .. } => "requeue",
+            Event::BreakerClose => "breaker-close",
         }
     }
 }

@@ -23,18 +23,29 @@
 //! - [`scenario`]: the canonical scenario set behind `afsysbench
 //!   serve` and the `profile serve` baseline,
 //! - [`reference`]: the frozen seed step-scan scheduler, kept verbatim
-//!   as the byte-equivalence oracle for the event-driven [`server`].
+//!   as the byte-equivalence oracle for the event-driven [`server`],
+//! - [`chaos`]: the fault-tolerant twin of the server — `rt::fault`
+//!   plans delivered into the serving event loop, answered by a
+//!   recovery policy (requeue with backoff, circuit breaker, deadline
+//!   shedding, overload degradation), every admitted request ending in
+//!   exactly one disposition; with an empty plan it is byte-identical
+//!   to [`server`].
 //!
 //! Everything runs on the simulated clock: the same seed yields
 //! byte-identical reports, metrics and traces.
 
 pub mod cache;
+pub mod chaos;
 pub mod reference;
 pub mod scenario;
 pub mod server;
 pub mod workload;
 
 pub use cache::FeatureCache;
+pub use chaos::{
+    chaos_scenarios, render_chaos_summary, run_chaos, run_serve_chaos, ChaosConfig, ChaosReport,
+    ChaosScenario, ChaosScenarioRun, Disposition, RecoveryPolicy,
+};
 pub use reference::run_serve_reference;
 pub use scenario::{
     default_scenarios, render_summary, run_default, run_xl, xl_scenarios, Scenario, ScenarioRun,

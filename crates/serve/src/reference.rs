@@ -22,6 +22,14 @@ use std::collections::BTreeSet;
 /// Identical contract to [`crate::server::run_serve`], except that
 /// miss coalescing is not implemented here.
 ///
+/// Fault guard: this oracle has no event queue, so no `Fault`,
+/// `Requeue` or `BreakerClose` event can ever reach it — by
+/// construction it models exactly the fault-free server the
+/// event-driven loop reduces to when it ignores unknown events (its
+/// defensive `_ => {}` arm) and the chaos loop reduces to under an
+/// empty [`afsb_rt::fault::FaultPlan`]. The equivalence gate therefore
+/// still covers all four canonical scenarios unchanged.
+///
 /// # Panics
 ///
 /// Panics when `config.coalesce_misses` is set — the oracle predates

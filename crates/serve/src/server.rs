@@ -606,10 +606,8 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
 
             // The GPU freed up: if anything queued meanwhile, close the
             // next batch immediately.
-            Event::GpuDone { .. } => {
-                if !pool.is_empty() {
-                    engine.schedule(now, Event::BatchClose);
-                }
+            Event::GpuDone { .. } if !pool.is_empty() => {
+                engine.schedule(now, Event::BatchClose);
             }
 
             // An armed deadline elapsed without being cancelled. For
@@ -620,7 +618,14 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 outcomes[request].deadline_missed = true;
             }
 
-            Event::Fault(_) => unreachable!("the server schedules no fault events"),
+            // Defense in depth: the fault-free server schedules none of
+            // the remaining vocabulary (`Fault`, `Requeue`,
+            // `BreakerClose`), but an unknown event must never abort a
+            // simulation — it is ignored, exactly like the frozen seed
+            // scheduler ([`crate::reference`]) which never sees events
+            // at all. The chaos-enabled loop ([`crate::chaos`]) handles
+            // these for real.
+            _ => {}
         }
     }
 
