@@ -48,7 +48,7 @@ run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 # show up as an intentional update to results/quick/, not silently.
 golden_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
-GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl serve-chaos)
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl serve-chaos serve-telemetry)
 run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
 for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
     run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
@@ -68,10 +68,16 @@ run target/release/afsysbench perf-diff results/BENCH_msa_sweep.json "$golden_di
 # Serving determinism + regression gate: two same-seed serve profiles
 # must be byte-identical, and the fresh profile must stay within
 # tolerance of the committed baseline (throughput, latency percentiles,
-# hit rate, occupancy per scenario).
-run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-a" > /dev/null
-run target/release/afsysbench profile serve --quick --out "$golden_dir/perf-b" > /dev/null
+# hit rate, occupancy, and the telemetry-derived attr.*/slo.* metrics
+# per scenario). --timeline adds the gauge-timeline + SLO artifact and
+# the latency-histogram CSV, both gated byte-for-byte: two runs must
+# agree, and the timeline must match the committed quick golden.
+run target/release/afsysbench profile serve --quick --timeline --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve --quick --timeline --out "$golden_dir/perf-b" > /dev/null
 run cmp "$golden_dir/perf-a/BENCH_serve.json" "$golden_dir/perf-b/BENCH_serve.json"
+run cmp "$golden_dir/perf-a/serve.timeline.txt" "$golden_dir/perf-b/serve.timeline.txt"
+run cmp "$golden_dir/perf-a/serve.latency.csv" "$golden_dir/perf-b/serve.latency.csv"
+run diff -u results/quick/serve-timeline.txt "$golden_dir/perf-a/serve.timeline.txt"
 run target/release/afsysbench perf-diff results/BENCH_serve.json "$golden_dir/perf-a/BENCH_serve.json"
 
 # Event-engine scale gate: serve-xl pushes a 10k-request Poisson/Zipf
@@ -90,9 +96,10 @@ run target/release/afsysbench perf-diff results/BENCH_serve_xl.json "$golden_dir
 # disposition counts per scenario. The strict SLO orderings themselves
 # (baseline > each chaos scenario > kitchen-sink) are asserted by the
 # chaos_serving suite above.
-run target/release/afsysbench profile serve-chaos --quick --out "$golden_dir/perf-a" > /dev/null
-run target/release/afsysbench profile serve-chaos --quick --out "$golden_dir/perf-b" > /dev/null
+run target/release/afsysbench profile serve-chaos --quick --timeline --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve-chaos --quick --timeline --out "$golden_dir/perf-b" > /dev/null
 run cmp "$golden_dir/perf-a/BENCH_serve_chaos.json" "$golden_dir/perf-b/BENCH_serve_chaos.json"
+run cmp "$golden_dir/perf-a/serve-chaos.timeline.txt" "$golden_dir/perf-b/serve-chaos.timeline.txt"
 run target/release/afsysbench perf-diff results/BENCH_serve_chaos.json "$golden_dir/perf-a/BENCH_serve_chaos.json"
 
 echo "==> tier-1 gate passed"

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! afsysbench <experiment...|all> [--quick] [--out DIR]
-//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl|serve-chaos>... [--quick] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl|serve-chaos>... [--quick] [--timeline] [--out DIR]
 //! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
@@ -22,11 +22,18 @@
 //! fault-injection matrix (baseline, worker-churn, storage-brownout,
 //! gpu-flap, kitchen-sink) with the recovery policy on and prints
 //! availability, goodput and per-disposition counts per scenario.
+//! `serve-telemetry` re-runs the canonical scenarios plus the
+//! storage-brownout campaign with the observation-only telemetry layer
+//! armed and prints the gauge-timeline dashboard, per-request latency
+//! attribution, p99 waterfall, and SLO burn-rate log.
 //!
 //! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
 //! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
 //! report) and `<experiment>.collapsed.txt` (flamegraph input) to the
-//! `--out` directory (default `.`). `perf-diff` exits 0 when the
+//! `--out` directory (default `.`); with `--timeline`, serving
+//! experiments also write `<experiment>.timeline.txt` (gauge timeline +
+//! SLO log) and `<experiment>.latency.csv` (latency histogram bucket
+//! dump). `perf-diff` exits 0 when the
 //! current profile is within tolerance of the baseline, 1 on
 //! regression (offending symbols named), 2 on usage or I/O errors.
 
@@ -60,12 +67,13 @@ const EXPERIMENTS: &[&str] = &[
     "serve",
     "serve-xl",
     "serve-chaos",
+    "serve-telemetry",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: afsysbench <experiment...|all> [--quick] [--out DIR]\n\
-         \x20      afsysbench profile <experiment>... [--quick] [--out DIR]\n\
+         \x20      afsysbench profile <experiment>... [--quick] [--timeline] [--out DIR]\n\
          \x20      afsysbench perf-diff <baseline.json> <current.json>\n\n\
          experiments: {}\nprofile experiments: {}",
         EXPERIMENTS.join(", "),
@@ -99,6 +107,7 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "serve" => harness.serve(),
         "serve-xl" => harness.serve_xl(),
         "serve-chaos" => harness.serve_chaos(),
+        "serve-telemetry" => harness.serve_telemetry(),
         "trace" => {
             let (mut text, trace, flame) = harness.trace(17);
             let trace_path = PathBuf::from(
@@ -127,7 +136,7 @@ fn write_out(dir: &Path, name: &str, content: &str) {
     println!("wrote {}", dir.join(name).display());
 }
 
-fn cmd_profile(experiments: &[String], quick: bool, out_dir: &Path) -> ! {
+fn cmd_profile(experiments: &[String], quick: bool, timeline: bool, out_dir: &Path) -> ! {
     if experiments.is_empty() {
         eprintln!(
             "profile needs at least one experiment (available: {})",
@@ -160,6 +169,15 @@ fn cmd_profile(experiments: &[String], quick: bool, out_dir: &Path) -> ! {
             &format!("{exp}.collapsed.txt"),
             &artifacts.collapsed,
         );
+        if timeline {
+            match &artifacts.timeline {
+                Some(text) => write_out(out_dir, &format!("{exp}.timeline.txt"), text),
+                None => eprintln!("profile {exp} has no timeline artifact (--timeline ignored)"),
+            }
+            if let Some(csv) = &artifacts.latency_csv {
+                write_out(out_dir, &format!("{exp}.latency.csv"), csv);
+            }
+        }
     }
     std::process::exit(0);
 }
@@ -200,11 +218,13 @@ fn main() {
 
     let mut targets: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut timeline = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--timeline" => timeline = true,
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -225,6 +245,7 @@ fn main() {
         cmd_profile(
             &targets[1..],
             quick,
+            timeline,
             out_dir.as_deref().unwrap_or(Path::new(".")),
         );
     }

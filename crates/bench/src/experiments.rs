@@ -670,4 +670,13 @@ impl Harness {
         let runs = afsb_serve::chaos::run_chaos(self.quick);
         afsb_serve::chaos::render_chaos_summary(&runs)
     }
+
+    /// Serving telemetry: the canonical scenarios plus the
+    /// storage-brownout campaign with the observation-only telemetry
+    /// layer armed — gauge timeline + sparkline dashboard, per-request
+    /// latency attribution, p99 waterfall, and the SLO burn-rate log.
+    pub fn serve_telemetry(&self) -> String {
+        let report = afsb_serve::run_telemetry(self.quick);
+        afsb_serve::render_telemetry(&report)
+    }
 }

@@ -57,6 +57,12 @@ pub struct ProfileArtifacts {
     pub report_text: String,
     /// Collapsed stacks — flamegraph input.
     pub collapsed: String,
+    /// Serving gauge timeline + SLO log (`--timeline` artifact);
+    /// `Some` for the telemetry-armed serving experiments.
+    pub timeline: Option<String>,
+    /// Serving latency histogram bucket dump (CSV, `--timeline`
+    /// artifact); `Some` whenever a serving run was profiled.
+    pub latency_csv: Option<String>,
 }
 
 /// The canonical baseline file name for an experiment
@@ -169,6 +175,8 @@ pub fn profile_pipeline(quick: bool) -> ProfileArtifacts {
         baseline,
         report_text,
         collapsed: sampled.collapsed(),
+        timeline: None,
+        latency_csv: None,
     }
 }
 
@@ -251,14 +259,23 @@ pub fn profile_msa_sweep(quick: bool) -> ProfileArtifacts {
         },
         report_text,
         collapsed: sampled.collapsed(),
+        timeline: None,
+        latency_csv: None,
     }
 }
 
 /// Profile the canonical serving scenarios (Server, quick or full
-/// stream). Metrics are prefixed per scenario (`cold.qph`, …); the
+/// stream) with telemetry armed — telemetry is observation-only, so
+/// every pre-existing metric matches a bare `run_default` bit for bit,
+/// while `attr.*`/`slo.*` metrics and the `--timeline` artifact are
+/// added. Metrics are prefixed per scenario (`cold.qph`, …); the
 /// sampled profile covers the cold scenario's trace.
 pub fn profile_serve(quick: bool) -> ProfileArtifacts {
-    serve_artifacts("serve", afsb_serve::scenario::run_default(quick), quick)
+    serve_artifacts(
+        "serve",
+        afsb_serve::scenario::run_default_telemetry(quick),
+        quick,
+    )
 }
 
 /// Profile the XL serving scenarios — the same four ablations over a
@@ -273,7 +290,7 @@ pub fn profile_serve_xl(quick: bool) -> ProfileArtifacts {
 /// scenario (`kitchen-sink.goodput`, …); the sampled profile covers
 /// the kitchen-sink trace, the fault-richest scenario.
 pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
-    let runs = afsb_serve::chaos::run_chaos(quick);
+    let runs = afsb_serve::chaos::run_chaos_telemetry(quick);
     let mut metrics = Vec::new();
     for run in &runs {
         let r = &run.report;
@@ -282,6 +299,7 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
         metrics.push((format!("{p}.goodput"), r.goodput));
         metrics.push((format!("{p}.completed"), r.completed as f64));
         metrics.push((format!("{p}.degraded"), r.degraded as f64));
+        metrics.push((format!("{p}.degraded_attempts"), r.degraded_attempts as f64));
         metrics.push((format!("{p}.shed"), r.shed as f64));
         metrics.push((format!("{p}.failed"), r.failed as f64));
         metrics.push((format!("{p}.requeues"), r.requeues as f64));
@@ -289,6 +307,7 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
         metrics.push((format!("{p}.lost_s"), r.lost_seconds));
         metrics.push((format!("{p}.qph"), r.base.throughput_qph));
         metrics.push((format!("wall.{p}_makespan_s"), r.base.makespan_s));
+        push_telemetry_metrics(&mut metrics, p, &r.base);
     }
 
     let sink = runs.last().expect("chaos matrix is non-empty");
@@ -297,6 +316,16 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
     let mut report_text = afsb_serve::chaos::render_chaos_summary(&runs);
     report_text.push('\n');
     report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    let timeline: String = runs
+        .iter()
+        .map(|run| afsb_serve::render_timeline_block(run.name, &run.report.base))
+        .collect();
+    let latency_csv = sink
+        .obs
+        .metrics
+        .histogram("serve.latency_s")
+        .map(|h| h.to_csv());
 
     ProfileArtifacts {
         baseline: PerfBaseline {
@@ -309,6 +338,8 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
         },
         report_text,
         collapsed: sampled.collapsed(),
+        timeline: (!timeline.is_empty()).then_some(timeline),
+        latency_csv,
     }
 }
 
@@ -335,6 +366,7 @@ fn serve_artifacts(
             metrics.push((format!("{p}.latency_p90_s"), l.p90));
             metrics.push((format!("{p}.latency_p99_s"), l.p99));
         }
+        push_telemetry_metrics(&mut metrics, p, r);
     }
 
     let cold = runs.first().expect("scenario set is non-empty");
@@ -343,6 +375,16 @@ fn serve_artifacts(
     let mut report_text = afsb_serve::scenario::render_summary(&runs);
     report_text.push('\n');
     report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    let timeline: String = runs
+        .iter()
+        .map(|run| afsb_serve::render_timeline_block(run.name, &run.report))
+        .collect();
+    let latency_csv = cold
+        .obs
+        .metrics
+        .histogram("serve.latency_s")
+        .map(|h| h.to_csv());
 
     ProfileArtifacts {
         baseline: PerfBaseline {
@@ -355,6 +397,26 @@ fn serve_artifacts(
         },
         report_text,
         collapsed: sampled.collapsed(),
+        timeline: (!timeline.is_empty()).then_some(timeline),
+        latency_csv,
+    }
+}
+
+/// Append the telemetry-derived metrics for one serving report:
+/// `attr.<phase>` latency-attribution shares (always available — phase
+/// segments are tracked unconditionally) and, when the SLO monitor was
+/// armed, the `slo.*` burn/alert summary.
+fn push_telemetry_metrics(metrics: &mut Vec<(String, f64)>, p: &str, r: &afsb_serve::ServeReport) {
+    if let Some(shares) = r.attribution_shares() {
+        for (phase, share) in shares {
+            metrics.push((format!("{p}.attr.{phase}"), share));
+        }
+    }
+    if let Some(slo) = &r.slo {
+        metrics.push((format!("{p}.slo.burn_events"), slo.burn_events as f64));
+        metrics.push((format!("{p}.slo.clear_events"), slo.clear_events as f64));
+        metrics.push((format!("{p}.slo.max_burn"), slo.max_burn));
+        metrics.push((format!("{p}.slo.alert_s"), slo.alert_seconds));
     }
 }
 

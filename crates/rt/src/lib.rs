@@ -41,6 +41,7 @@ pub mod sim;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use obs::timeline::{SloConfig, SloMonitor, SloOutcome, SloTransition, TimelineSampler};
 pub use obs::{MetricsRegistry, ObsSession, SpanId, Tracer};
 pub use rng::{Rng, WeightedIndex};
 pub use sim::{Event, SimEngine, TimerId};

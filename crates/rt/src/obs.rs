@@ -30,6 +30,8 @@
 //! carries the metrics snapshot in the file's `otherData` section so a
 //! single artifact holds the whole observation.
 
+pub mod timeline;
+
 use crate::json::{obj, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -515,6 +517,86 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Buckets as `(lower, upper, count)` triples. The first lower bound
+    /// is `-inf` and the final upper bound is `+inf` (overflow bucket),
+    /// matching the `(lo, hi]` bucket semantics of [`Histogram::observe`].
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut lower = f64::NEG_INFINITY;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let upper = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((lower, upper, count));
+            lower = upper;
+        }
+        out
+    }
+
+    /// CSV bucket dump: a `upper_bound,count` header, one row per bucket
+    /// (the overflow row's bound renders as `inf`), and a trailing
+    /// `sum,<value>` row carrying the exact observation sum. Floats use
+    /// Rust's shortest-round-trip formatting, so [`Histogram::from_csv`]
+    /// reconstructs the histogram bit-for-bit.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("upper_bound,count\n");
+        for (_, upper, count) in self.buckets() {
+            let _ = writeln!(out, "{upper},{count}");
+        }
+        let _ = writeln!(out, "sum,{}", self.sum);
+        out
+    }
+
+    /// Parse a dump produced by [`Histogram::to_csv`] back into an equal
+    /// histogram.
+    pub fn from_csv(text: &str) -> Result<Histogram, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("upper_bound,count") => {}
+            other => return Err(format!("bad CSV header: {other:?}")),
+        }
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut sum = None;
+        for line in lines {
+            let (field, value) = line
+                .split_once(',')
+                .ok_or_else(|| format!("bad CSV row: {line:?}"))?;
+            if field == "sum" {
+                sum = Some(
+                    value
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad sum {value:?}: {e}"))?,
+                );
+                break;
+            }
+            let upper = field
+                .parse::<f64>()
+                .map_err(|e| format!("bad bound {field:?}: {e}"))?;
+            let count = value
+                .parse::<u64>()
+                .map_err(|e| format!("bad count {value:?}: {e}"))?;
+            if upper.is_finite() {
+                bounds.push(upper);
+            }
+            counts.push(count);
+        }
+        let sum = sum.ok_or_else(|| "missing sum row".to_owned())?;
+        if bounds.is_empty() {
+            return Err("no finite bucket bounds".to_owned());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "expected {} rows ending in an inf overflow row, got {}",
+                bounds.len() + 1,
+                counts.len()
+            ));
+        }
+        let mut h = Histogram::new(&bounds);
+        h.total = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        Ok(h)
+    }
+
     /// The upper bound of the bucket holding the `p`-quantile observation
     /// (`p` clamped to `[0, 1]`), or `None` on an empty histogram.
     ///
@@ -873,6 +955,44 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unordered_bounds() {
         let _ = Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_buckets_accessor_brackets_the_counts() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(50.0);
+        assert_eq!(
+            h.buckets(),
+            vec![
+                (f64::NEG_INFINITY, 1.0, 1),
+                (1.0, 10.0, 0),
+                (10.0, f64::INFINITY, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_csv_round_trips_bit_for_bit() {
+        let mut h = Histogram::new(&[0.1, 1.0, 10.0, 100.0]);
+        for i in 0..200 {
+            h.observe(i as f64 * 0.7919 + 0.003);
+        }
+        h.observe(1e9); // overflow bucket
+        let csv = h.to_csv();
+        assert!(csv.starts_with("upper_bound,count\n"));
+        assert!(csv.contains("inf,"));
+        let back = Histogram::from_csv(&csv).expect("parses");
+        assert_eq!(back, h);
+        assert_eq!(back.to_csv(), csv);
+    }
+
+    #[test]
+    fn histogram_csv_rejects_malformed_dumps() {
+        assert!(Histogram::from_csv("").is_err());
+        assert!(Histogram::from_csv("upper_bound,count\nsum,0\n").is_err());
+        assert!(Histogram::from_csv("upper_bound,count\n1,0\nnope\n").is_err());
+        assert!(Histogram::from_csv("upper_bound,count\n1,0\ninf,2\n").is_err());
     }
 
     #[test]

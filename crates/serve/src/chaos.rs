@@ -42,11 +42,15 @@
 
 use crate::cache::FeatureCache;
 use crate::scenario::SERVE_SEED;
-use crate::server::{CostTable, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS};
+use crate::server::{
+    CostTable, PhaseSegments, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS,
+    TIMELINE_COLUMNS,
+};
 use crate::workload;
 use afsb_core::report::ascii_table;
 use afsb_core::resilience::{CircuitBreaker, DegradeStep, RetryPolicy};
 use afsb_rt::fault::{FaultEvent, FaultKind, FaultPlan};
+use afsb_rt::obs::timeline::{SloMonitor, TimelineSampler};
 use afsb_rt::obs::{Histogram, ObsSession};
 use afsb_rt::rng::mix;
 use afsb_rt::sim::{Event, SimEngine, TimerId};
@@ -196,6 +200,11 @@ pub struct ChaosReport {
     pub shed: usize,
     /// Requests that terminally failed.
     pub failed: usize,
+    /// Degradation rung applications (MSA-depth cap decisions), counted
+    /// per dispatch attempt — a later shed or failure does not erase the
+    /// attempt, so this is nonzero whenever `degrade:` instants fired
+    /// even if no *finished* request kept the degraded flag.
+    pub degraded_attempts: u64,
     /// MSA attempts re-dispatched after a kill.
     pub requeues: u64,
     /// Times the worker-pool circuit opened.
@@ -308,6 +317,13 @@ fn retime_job(
 ) {
     let (request, entity) = (jobs[i].request, jobs[i].entity);
     engine.cancel(jobs[i].timer);
+    {
+        // Attribution: a retime moves queue wait by the start shift and
+        // MSA service by the duration change (straggler/stall inflation).
+        let seg = &mut outcomes[request].segments;
+        seg.msa_queue_wait_s += new_start - jobs[i].start_s;
+        seg.msa_service_s += (new_done - new_start) - (jobs[i].done_s - jobs[i].start_s);
+    }
     jobs[i].start_s = new_start;
     jobs[i].done_s = new_done;
     jobs[i].timer = engine.schedule(new_done, Event::MsaDone { request, worker: w });
@@ -326,6 +342,7 @@ fn retime_job(
                     entity,
                 },
             );
+            outcomes[waiter].segments.cache_wait_s += ready - outcomes[waiter].ready_s;
             outcomes[waiter].ready_s = ready;
         }
     }
@@ -426,6 +443,25 @@ pub fn run_serve_chaos(
     let mut breaker_open = false;
     let mut requeues = 0u64;
     let mut breaker_opens = 0u64;
+    let mut degraded_attempts = 0u64;
+
+    // Observation-only telemetry (see `crate::server`): gauge counters
+    // and SLO observations never feed back into scheduling or floats.
+    let mut timeline = if config.telemetry.timeline_interval_s > 0.0 {
+        Some(TimelineSampler::new(
+            config.telemetry.timeline_interval_s,
+            &TIMELINE_COLUMNS,
+        ))
+    } else {
+        None
+    };
+    let mut slo_obs: Vec<(f64, bool)> = Vec::new();
+    // Per-request start of the current admission wait (set at a kill or
+    // breaker park, consumed by the next requeue dispatch).
+    let mut wait_since: Vec<f64> = vec![0.0; requests.len()];
+    if let Some(tl) = timeline.as_mut() {
+        tl.set_many(&[0.0, 0.0, 0.0, cache.len() as f64, 0.0, 0.0, 0.0]);
+    }
 
     // Faults enter the shared queue before the first arrival so a fault
     // scheduled exactly at an arrival's timestamp is delivered first.
@@ -439,6 +475,9 @@ pub fn run_serve_chaos(
     }
 
     while let Some((now, event)) = engine.pop() {
+        if let Some(tl) = timeline.as_mut() {
+            tl.advance_to(now);
+        }
         match event {
             Event::Arrival { request } => {
                 let req = &requests[request];
@@ -451,8 +490,10 @@ pub fn run_serve_chaos(
                         ready_s: req.arrival_s,
                         done_s: 0.0,
                         deadline_missed: false,
+                        segments: PhaseSegments::default(),
                     });
                 } else {
+                    let mut segments = PhaseSegments::default();
                     let coalesce = config.coalesce_misses
                         && !cache.contains(req.entity)
                         && in_flight.contains_key(&req.entity);
@@ -481,6 +522,7 @@ pub fn run_serve_chaos(
                                 load_s: shape.feature_load_s,
                             },
                         );
+                        segments.cache_wait_s = ready - req.arrival_s;
                         (true, ready)
                     } else if cache.lookup(req.entity) {
                         let mut ready = req.arrival_s + shape.feature_load_s;
@@ -506,6 +548,7 @@ pub fn run_serve_chaos(
                                 load_s: shape.feature_load_s,
                             },
                         );
+                        segments.cache_wait_s = ready - req.arrival_s;
                         (true, ready)
                     } else {
                         let mut msa_s = shape.msa_s;
@@ -516,6 +559,7 @@ pub fn run_serve_chaos(
                         {
                             degraded_req[request] = true;
                             msa_s *= policy.degrade_msa_factor;
+                            degraded_attempts += 1;
                             obs.tracer.instant_at(
                                 now,
                                 format!(
@@ -544,6 +588,8 @@ pub fn run_serve_chaos(
                             done_s: done,
                             timer,
                         });
+                        segments.msa_queue_wait_s = start - req.arrival_s;
+                        segments.msa_service_s = done - start;
                         (false, done)
                     };
                     outcomes.push(RequestOutcome {
@@ -553,6 +599,7 @@ pub fn run_serve_chaos(
                         ready_s,
                         done_s: 0.0,
                         deadline_missed: false,
+                        segments,
                     });
                     if let Some(limit) = config.deadline.limit_seconds() {
                         deadline_timers[request] =
@@ -591,6 +638,8 @@ pub fn run_serve_chaos(
                         for waiter in waiters {
                             let load_s = costs.shape(requests[waiter].sample).feature_load_s;
                             let ready = now + load_s;
+                            outcomes[waiter].segments.cache_wait_s +=
+                                ready - outcomes[waiter].ready_s;
                             outcomes[waiter].ready_s = ready;
                             let timer = engine.schedule(
                                 ready,
@@ -698,12 +747,14 @@ pub fn run_serve_chaos(
                 obs.tracer
                     .child_span(batch_span, "dispatch", at, costs.dispatch_s);
                 at += costs.dispatch_s;
+                let compile_begin = at;
                 for &s in &new_shapes {
                     let compile_s = costs.shape(s).compile_s * compile_factor;
                     obs.tracer
                         .child_span(batch_span, "xla_compile", at, compile_s);
                     at += compile_s;
                 }
+                let compile_end = at;
                 for &idx in &batch {
                     let shape = costs.shape(outcomes[idx].request.sample);
                     obs.tracer
@@ -713,6 +764,10 @@ pub fn run_serve_chaos(
                 debug_assert!((at - done).abs() < 1e-9);
                 for &idx in &batch {
                     outcomes[idx].done_s = done;
+                    let o = &mut outcomes[idx];
+                    o.segments.batch_wait_s += start - o.ready_s;
+                    o.segments.xla_compile_s += compile_end - compile_begin;
+                    o.segments.close(o.done_s - o.request.arrival_s);
                     outcomes[idx].deadline_missed =
                         config.deadline.exceeded(outcomes[idx].latency_s());
                     if !outcomes[idx].deadline_missed {
@@ -725,6 +780,9 @@ pub fn run_serve_chaos(
                     } else {
                         Disposition::Completed
                     });
+                    if config.telemetry.slo.is_some() {
+                        slo_obs.push((done, !outcomes[idx].deadline_missed && !degraded_req[idx]));
+                    }
                 }
                 gpu_busy += done - start;
                 gpu_free = done;
@@ -788,6 +846,9 @@ pub fn run_serve_chaos(
                     if shed {
                         disposition[request] = Some(Disposition::Shed);
                         obs.tracer.instant_at(now, "shed");
+                        if config.telemetry.slo.is_some() {
+                            slo_obs.push((now, false));
+                        }
                     }
                 }
                 outcomes[request].deadline_missed = true;
@@ -818,6 +879,20 @@ pub fn run_serve_chaos(
                         engine.cancel(job.timer);
                         let r = job.request;
                         let entity = job.entity;
+                        {
+                            // Attribution: drop the killed attempt's
+                            // un-run tail; a never-started job instead
+                            // converts its queue wait to the actual wait
+                            // accrued up to the kill.
+                            let seg = &mut outcomes[r].segments;
+                            if job.start_s > now {
+                                seg.msa_queue_wait_s += now - job.start_s;
+                                seg.msa_service_s -= job.done_s - job.start_s;
+                            } else {
+                                seg.msa_service_s -= job.done_s - now;
+                            }
+                        }
+                        wait_since[r] = now;
                         // Waiters piggybacked on this producer become
                         // orphans, woken exactly once by the entity's
                         // next MSA completion.
@@ -856,6 +931,9 @@ pub fn run_serve_chaos(
                         if attempts[r] >= policy.max_attempts.max(1) {
                             disposition[r] = Some(Disposition::Failed);
                             obs.tracer.instant_at(now, "failed");
+                            if config.telemetry.slo.is_some() {
+                                slo_obs.push((now, false));
+                            }
                             if let Some(timer) = deadline_timers[r].take() {
                                 engine.cancel(timer);
                             }
@@ -865,6 +943,9 @@ pub fn run_serve_chaos(
                                 for waiter in waiters {
                                     disposition[waiter] = Some(Disposition::Failed);
                                     obs.tracer.instant_at(now, "failed");
+                                    if config.telemetry.slo.is_some() {
+                                        slo_obs.push((now, false));
+                                    }
                                     if let Some(timer) = deadline_timers[waiter].take() {
                                         engine.cancel(timer);
                                     }
@@ -931,6 +1012,7 @@ pub fn run_serve_chaos(
                                 let fill = fills[&waiter];
                                 engine.cancel(fill.timer);
                                 let ready = outcomes[waiter].ready_s + fill.load_s;
+                                outcomes[waiter].segments.cache_wait_s += fill.load_s;
                                 outcomes[waiter].ready_s = ready;
                                 let timer = engine.schedule(
                                     ready,
@@ -952,6 +1034,7 @@ pub fn run_serve_chaos(
                             let fill = fills[waiter];
                             engine.cancel(fill.timer);
                             let ready = outcomes[*waiter].ready_s + stall_seconds;
+                            outcomes[*waiter].segments.cache_wait_s += stall_seconds;
                             outcomes[*waiter].ready_s = ready;
                             let timer = engine.schedule(
                                 ready,
@@ -1025,7 +1108,9 @@ pub fn run_serve_chaos(
                 }
                 requeues += 1;
                 obs.tracer.instant_at(now, "requeue");
+                outcomes[request].segments.admission_wait_s += now - wait_since[request];
                 if breaker_open {
+                    wait_since[request] = now;
                     parked.push(request);
                     continue;
                 }
@@ -1037,6 +1122,7 @@ pub fn run_serve_chaos(
                     && queued_depth(&worker_jobs, now) + parked.len() >= policy.degrade_queue_depth
                 {
                     degraded_req[request] = true;
+                    degraded_attempts += 1;
                     obs.tracer.instant_at(
                         now,
                         format!(
@@ -1068,6 +1154,8 @@ pub fn run_serve_chaos(
                     done_s: done,
                     timer,
                 });
+                outcomes[request].segments.msa_queue_wait_s += start - now;
+                outcomes[request].segments.msa_service_s += done - start;
                 outcomes[request].ready_s = done;
             }
 
@@ -1079,6 +1167,17 @@ pub fn run_serve_chaos(
                     requeue_timers[r] = Some(engine.schedule(now, Event::Requeue { request: r }));
                 }
             }
+        }
+        if let Some(tl) = timeline.as_mut() {
+            tl.set_many(&[
+                (worker_jobs.iter().map(|jobs| jobs.len()).sum::<usize>() + parked.len()) as f64,
+                workers.iter().filter(|&&t| t > now).count() as f64,
+                if gpu_free > now { 1.0 } else { 0.0 },
+                cache.len() as f64,
+                cache.hit_rate(),
+                fills.len() as f64,
+                if breaker_open { 1.0 } else { 0.0 },
+            ]);
         }
     }
 
@@ -1131,6 +1230,28 @@ pub fn run_serve_chaos(
 
     obs.tracer.advance(makespan_s);
     obs.tracer.end();
+
+    if let Some(tl) = timeline.as_mut() {
+        tl.finish(makespan_s);
+    }
+    let slo = config.telemetry.slo.map(|slo_config| {
+        let mut monitor = SloMonitor::new(slo_config);
+        for &(t, good) in &slo_obs {
+            monitor.observe(t, good);
+        }
+        let outcome = monitor.evaluate();
+        for tr in &outcome.transitions {
+            obs.tracer
+                .instant_at(tr.at_s, if tr.firing { "slo:burn" } else { "slo:clear" });
+            obs.tracer.instant_attr("burn", tr.burn);
+        }
+        let m = &mut obs.metrics;
+        m.inc("slo.burn_events", outcome.burn_events);
+        m.inc("slo.clear_events", outcome.clear_events);
+        m.set_gauge("slo.max_burn", outcome.max_burn);
+        m.set_gauge("slo.alert_seconds", outcome.alert_seconds);
+        outcome
+    });
 
     let completed = disposition
         .iter()
@@ -1193,6 +1314,7 @@ pub fn run_serve_chaos(
         m.inc("serve.chaos.degraded", degraded as u64);
         m.inc("serve.chaos.shed", shed as u64);
         m.inc("serve.chaos.failed", failed as u64);
+        m.inc("serve.chaos.degraded_attempts", degraded_attempts);
         m.inc("serve.chaos.requeues", requeues);
         m.inc("serve.chaos.breaker_opens", breaker_opens);
         m.inc("serve.chaos.faults", injector.events().len() as u64);
@@ -1218,6 +1340,8 @@ pub fn run_serve_chaos(
         cache_hit_rate: cache.hit_rate(),
         cache_coalesced: cache.coalesced(),
         latency: latency_hist.summary(),
+        timeline,
+        slo,
         outcomes,
     };
     ChaosReport {
@@ -1229,6 +1353,7 @@ pub fn run_serve_chaos(
         degraded,
         shed,
         failed,
+        degraded_attempts,
         requeues,
         breaker_opens,
         fault_events: injector.events().to_vec(),
@@ -1404,8 +1529,28 @@ pub fn chaos_scenarios(quick: bool) -> Vec<ChaosScenario> {
 /// Each run builds its own injector, so the shared plans never
 /// double-fire across scenarios.
 pub fn run_chaos(quick: bool) -> Vec<ChaosScenarioRun> {
+    run_chaos_set(chaos_scenarios(quick), quick)
+}
+
+/// [`run_chaos`] with serving telemetry (timeline sampler + SLO
+/// monitor) armed on every scenario — the `profile serve-chaos` entry
+/// point. Telemetry is observation-only, so every disposition and
+/// float matches [`run_chaos`] bit for bit.
+pub fn run_chaos_telemetry(quick: bool) -> Vec<ChaosScenarioRun> {
+    let telemetry = crate::server::TelemetryConfig::standard(quick);
+    let scenarios = chaos_scenarios(quick)
+        .into_iter()
+        .map(|mut s| {
+            s.config.telemetry = telemetry;
+            s
+        })
+        .collect();
+    run_chaos_set(scenarios, quick)
+}
+
+fn run_chaos_set(scenarios: Vec<ChaosScenario>, quick: bool) -> Vec<ChaosScenarioRun> {
     let costs = CostTable::build(Platform::Server, quick, 4, SERVE_SEED);
-    chaos_scenarios(quick)
+    scenarios
         .into_iter()
         .map(|scenario| {
             let mut obs = ObsSession::new();
@@ -1422,8 +1567,8 @@ pub fn run_chaos(quick: bool) -> Vec<ChaosScenarioRun> {
 /// Cross-scenario comparison table plus the per-scenario blocks.
 pub fn render_chaos_summary(runs: &[ChaosScenarioRun]) -> String {
     let headers = [
-        "scenario", "avail", "goodput", "compl", "degr", "shed", "failed", "requeue", "faults",
-        "lost s",
+        "scenario", "avail", "goodput", "compl", "degr", "degr att", "shed", "failed", "requeue",
+        "faults", "lost s",
     ];
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -1435,6 +1580,7 @@ pub fn render_chaos_summary(runs: &[ChaosScenarioRun]) -> String {
                 format!("{:.1}%", r.goodput * 100.0),
                 format!("{}", r.completed),
                 format!("{}", r.degraded),
+                format!("{}", r.degraded_attempts),
                 format!("{}", r.shed),
                 format!("{}", r.failed),
                 format!("{}", r.requeues),

@@ -39,16 +39,25 @@ pub mod chaos;
 pub mod reference;
 pub mod scenario;
 pub mod server;
+pub mod telemetry;
 pub mod workload;
 
 pub use cache::FeatureCache;
 pub use chaos::{
-    chaos_scenarios, render_chaos_summary, run_chaos, run_serve_chaos, ChaosConfig, ChaosReport,
-    ChaosScenario, ChaosScenarioRun, Disposition, RecoveryPolicy,
+    chaos_scenarios, render_chaos_summary, run_chaos, run_chaos_telemetry, run_serve_chaos,
+    ChaosConfig, ChaosReport, ChaosScenario, ChaosScenarioRun, Disposition, RecoveryPolicy,
 };
 pub use reference::run_serve_reference;
 pub use scenario::{
-    default_scenarios, render_summary, run_default, run_xl, xl_scenarios, Scenario, ScenarioRun,
+    default_scenarios, render_summary, run_default, run_default_telemetry, run_xl, xl_scenarios,
+    Scenario, ScenarioRun,
 };
-pub use server::{run_serve, CostTable, RequestOutcome, ServeConfig, ServeReport};
+pub use server::{
+    run_serve, CostTable, PhaseSegments, RequestOutcome, ServeConfig, ServeReport, TelemetryConfig,
+    TIMELINE_COLUMNS,
+};
+pub use telemetry::{
+    render_telemetry, render_timeline_block, run_brownout_telemetry, run_telemetry,
+    TelemetryReport, TELEMETRY_CHAOS_SCENARIO,
+};
 pub use workload::{generate, Request, WorkloadConfig};

@@ -12,7 +12,9 @@
 //! only job is to never change.
 
 use crate::cache::FeatureCache;
-use crate::server::{CostTable, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS};
+use crate::server::{
+    CostTable, PhaseSegments, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS,
+};
 use crate::workload;
 use afsb_rt::obs::{Histogram, ObsSession};
 use afsb_seq::samples::SampleId;
@@ -84,11 +86,15 @@ pub fn run_serve_reference(
                 ready_s: req.arrival_s,
                 done_s: 0.0,
                 deadline_missed: false,
+                segments: PhaseSegments::default(),
             });
             continue;
         }
+        let mut segments = PhaseSegments::default();
         let (cache_hit, ready_s) = if cache.lookup(req.entity) {
-            (true, req.arrival_s + shape.feature_load_s)
+            let ready = req.arrival_s + shape.feature_load_s;
+            segments.cache_wait_s = ready - req.arrival_s;
+            (true, ready)
         } else {
             let w = workers
                 .iter()
@@ -101,6 +107,8 @@ pub fn run_serve_reference(
             workers[w] = done;
             pending.push((done, seq, req.entity, shape.feature_bytes));
             seq += 1;
+            segments.msa_queue_wait_s = start - req.arrival_s;
+            segments.msa_service_s = done - start;
             (false, done)
         };
         outcomes.push(RequestOutcome {
@@ -110,6 +118,7 @@ pub fn run_serve_reference(
             ready_s,
             done_s: 0.0,
             deadline_missed: false,
+            segments,
         });
     }
 
@@ -174,11 +183,13 @@ pub fn run_serve_reference(
         obs.tracer
             .child_span(batch_span, "dispatch", at, costs.dispatch_s);
         at += costs.dispatch_s;
+        let compile_begin = at;
         for &s in &new_shapes {
             obs.tracer
                 .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
             at += costs.shape(s).compile_s;
         }
+        let compile_end = at;
         for &idx in batch {
             let shape = costs.shape(outcomes[idx].request.sample);
             obs.tracer
@@ -188,6 +199,10 @@ pub fn run_serve_reference(
         debug_assert!((at - done).abs() < 1e-9);
         for &idx in batch {
             outcomes[idx].done_s = done;
+            let o = &mut outcomes[idx];
+            o.segments.batch_wait_s += start - o.ready_s;
+            o.segments.xla_compile_s += compile_end - compile_begin;
+            o.segments.close(o.done_s - o.request.arrival_s);
             outcomes[idx].deadline_missed = config.deadline.exceeded(outcomes[idx].latency_s());
         }
         gpu_busy += done - start;
@@ -259,6 +274,8 @@ pub fn run_serve_reference(
         cache_hit_rate: cache.hit_rate(),
         cache_coalesced: cache.coalesced(),
         latency: latency_hist.summary(),
+        timeline: None,
+        slo: None,
         outcomes,
     }
 }

@@ -11,7 +11,7 @@
 //! `cold` vs `nocache` prices the MSA feature cache; `warm` vs
 //! `warm_b1` prices GPU batching with the CPU phase out of the way.
 
-use crate::server::{run_serve, CostTable, ServeConfig, ServeReport};
+use crate::server::{run_serve, CostTable, ServeConfig, ServeReport, TelemetryConfig};
 use crate::workload::WorkloadConfig;
 use afsb_core::report::ascii_table;
 use afsb_core::resilience::Deadline;
@@ -63,6 +63,7 @@ pub fn default_scenarios(quick: bool) -> Vec<Scenario> {
         prewarm_cache: false,
         deadline: Deadline::new(Some(24.0 * 3600.0)),
         coalesce_misses: false,
+        telemetry: TelemetryConfig::default(),
     };
     vec![
         Scenario {
@@ -99,6 +100,22 @@ pub fn run_default(quick: bool) -> Vec<ScenarioRun> {
     run_set(default_scenarios(quick), quick)
 }
 
+/// `run_default` with serving telemetry (timeline sampler + SLO
+/// monitor) enabled on every scenario. Telemetry is observation-only,
+/// so the reports differ from [`run_default`] only in the `timeline`
+/// and `slo` fields (`tests/telemetry.rs` proves it).
+pub fn run_default_telemetry(quick: bool) -> Vec<ScenarioRun> {
+    let telemetry = TelemetryConfig::standard(quick);
+    let scenarios = default_scenarios(quick)
+        .into_iter()
+        .map(|mut s| {
+            s.config.telemetry = telemetry;
+            s
+        })
+        .collect();
+    run_set(scenarios, quick)
+}
+
 /// The XL scenario set behind `afsysbench serve-xl` — the same four
 /// ablations at production scale: a catalog one to two orders of
 /// magnitude larger, Poisson arrivals an order of magnitude denser, a
@@ -124,6 +141,7 @@ pub fn xl_scenarios(quick: bool) -> Vec<Scenario> {
         prewarm_cache: false,
         deadline: Deadline::new(Some(72.0 * 3600.0)),
         coalesce_misses: true,
+        telemetry: TelemetryConfig::default(),
     };
     vec![
         Scenario {

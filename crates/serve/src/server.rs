@@ -38,6 +38,7 @@ use afsb_core::msa_phase::{run_msa_phase, MsaPhaseOptions};
 use afsb_core::resilience::Deadline;
 use afsb_gpu::runtime::{GpuRuntime, HostCpuModel};
 use afsb_model::{run_inference, ModelConfig};
+use afsb_rt::obs::timeline::{SloConfig, SloMonitor, SloOutcome, TimelineSampler};
 use afsb_rt::obs::{Histogram, HistogramSummary, ObsSession};
 use afsb_rt::sim::{Event, SimEngine, TimerId};
 use afsb_seq::samples::SampleId;
@@ -84,7 +85,48 @@ pub struct ServeConfig {
     /// a coalesced cache hit. Off by default — the canonical scenarios
     /// predate the feature and their baselines must not move.
     pub coalesce_misses: bool,
+    /// Observation-only telemetry (timeline sampler + SLO monitor).
+    /// Never changes scheduling decisions or priced floats; off by
+    /// default so existing baselines do not move.
+    pub telemetry: TelemetryConfig,
 }
+
+/// Serving-telemetry switches. Everything here is observation-only:
+/// enabling any of it leaves `ServeReport` results byte-identical to a
+/// run without it (enforced by `tests/telemetry.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetryConfig {
+    /// Timeline sampling interval in simulated seconds (`0` disables
+    /// the sampler).
+    pub timeline_interval_s: f64,
+    /// Windowed burn-rate SLO monitor (`None` disables it).
+    pub slo: Option<SloConfig>,
+}
+
+impl TelemetryConfig {
+    /// The serving default: a dashboard-friendly sampling interval
+    /// (one row per 2 simulated hours quick, 4 full) plus the standard
+    /// goodput SLO.
+    pub fn standard(quick: bool) -> TelemetryConfig {
+        TelemetryConfig {
+            timeline_interval_s: if quick { 7200.0 } else { 14400.0 },
+            slo: Some(SloConfig::standard()),
+        }
+    }
+
+    /// Whether any instrument is enabled.
+    pub fn enabled(&self) -> bool {
+        self.timeline_interval_s > 0.0 || self.slo.is_some()
+    }
+}
+
+/// Gauge columns sampled by the serving timeline, in emission order:
+/// outstanding MSA jobs, busy pool workers, GPU busy flag, cache
+/// entries, cache hit rate, in-flight cache fills, breaker-open flag
+/// (always 0 outside the chaos loop).
+pub const TIMELINE_COLUMNS: [&str; 7] = [
+    "msa_q", "workers", "gpu", "cache", "hit_rate", "fills", "brk",
+];
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
@@ -97,6 +139,7 @@ impl Default for ServeConfig {
             prewarm_cache: false,
             deadline: Deadline::new(Some(3.0 * 86400.0)),
             coalesce_misses: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -218,6 +261,89 @@ impl CostTable {
     }
 }
 
+/// Where one request's latency went, split into named phases that sum
+/// to [`RequestOutcome::latency_s`] (the GPU-service field is closed as
+/// the exact residual, so the reconstruction is bit-faithful up to one
+/// rounding ulp — `tests/telemetry.rs` property-checks 1e-9).
+///
+/// All fields accumulate (`+=`) across scheduling decisions, so chaos
+/// requeues, retimes and storage stalls attribute naturally: a killed
+/// attempt's un-run tail is subtracted, backoff and breaker-parked time
+/// lands in `admission_wait_s`, and a re-dispatched attempt adds its own
+/// queue and service segments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseSegments {
+    /// Chaos-only: requeue backoff plus breaker-parked seconds between
+    /// a kill and the next dispatch (0 in fault-free runs).
+    pub admission_wait_s: f64,
+    /// Seconds queued for a free MSA pool worker.
+    pub msa_queue_wait_s: f64,
+    /// Seconds of MSA service actually run on a worker.
+    pub msa_service_s: f64,
+    /// Cache-path wait: storage-priced feature load, coalesced wait on
+    /// an in-flight fill, and chaos storage-stall inflation.
+    pub cache_wait_s: f64,
+    /// Seconds between feature readiness and the GPU batch opening.
+    pub batch_wait_s: f64,
+    /// This batch's `xla_compile` seconds (shared by every member of
+    /// the batch that triggered the compile).
+    pub xla_compile_s: f64,
+    /// GPU service residual: init, reinit, dispatch and kernel compute.
+    pub gpu_service_s: f64,
+}
+
+impl PhaseSegments {
+    /// Phase names in canonical (roughly chronological) order, matching
+    /// [`PhaseSegments::get`].
+    pub const NAMES: [&'static str; 7] = [
+        "admission_wait",
+        "msa_queue_wait",
+        "msa_service",
+        "cache_wait",
+        "batch_wait",
+        "xla_compile",
+        "gpu_service",
+    ];
+
+    /// The `i`-th phase value in [`PhaseSegments::NAMES`] order.
+    pub fn get(&self, i: usize) -> f64 {
+        match i {
+            0 => self.admission_wait_s,
+            1 => self.msa_queue_wait_s,
+            2 => self.msa_service_s,
+            3 => self.cache_wait_s,
+            4 => self.batch_wait_s,
+            5 => self.xla_compile_s,
+            6 => self.gpu_service_s,
+            _ => panic!("phase index {i} out of range"),
+        }
+    }
+
+    /// Sum of every non-GPU phase, in fixed field order (the same order
+    /// [`PhaseSegments::total`] uses, so the residual closure is exact).
+    fn non_gpu_total(&self) -> f64 {
+        self.admission_wait_s
+            + self.msa_queue_wait_s
+            + self.msa_service_s
+            + self.cache_wait_s
+            + self.batch_wait_s
+            + self.xla_compile_s
+    }
+
+    /// Sum of all phases; reproduces `latency_s()` for finished
+    /// requests.
+    pub fn total(&self) -> f64 {
+        self.non_gpu_total() + self.gpu_service_s
+    }
+
+    /// Close the attribution at completion: the GPU-service phase is
+    /// the exact residual between the observed latency and every other
+    /// phase, so the seven fields always reconstruct `latency_s()`.
+    pub(crate) fn close(&mut self, latency_s: f64) {
+        self.gpu_service_s = latency_s - self.non_gpu_total();
+    }
+}
+
 /// Per-request outcome of a serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestOutcome {
@@ -233,6 +359,9 @@ pub struct RequestOutcome {
     pub done_s: f64,
     /// Whether the request finished past its deadline.
     pub deadline_missed: bool,
+    /// Latency attribution (all-zero for rejected requests; partial for
+    /// chaos-shed/failed ones, whose `done_s` stays 0).
+    pub segments: PhaseSegments,
 }
 
 impl RequestOutcome {
@@ -280,6 +409,12 @@ pub struct ServeReport {
     pub cache_coalesced: u64,
     /// Latency distribution of served requests (`None` when none).
     pub latency: Option<HistogramSummary>,
+    /// Gauge timeline (populated when `telemetry.timeline_interval_s`
+    /// is set; observation-only).
+    pub timeline: Option<TimelineSampler>,
+    /// SLO burn-rate evaluation (populated when `telemetry.slo` is set;
+    /// observation-only).
+    pub slo: Option<SloOutcome>,
 }
 
 impl ServeReport {
@@ -347,6 +482,148 @@ impl ServeReport {
         }
         out
     }
+
+    /// Outcomes that finished (not rejected, not chaos-shed/failed),
+    /// sorted by latency with request id breaking ties.
+    fn finished_by_latency(&self) -> Vec<&RequestOutcome> {
+        let mut v: Vec<&RequestOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.rejected && o.done_s > 0.0)
+            .collect();
+        v.sort_by(|a, b| {
+            a.latency_s()
+                .partial_cmp(&b.latency_s())
+                .expect("finite latencies")
+                .then(a.request.id.cmp(&b.request.id))
+        });
+        v
+    }
+
+    /// The exact finished request sitting at quantile `p` of the
+    /// latency distribution (rank `ceil(p·n)`), or `None` when nothing
+    /// finished.
+    pub fn percentile_outcome(&self, p: f64) -> Option<&RequestOutcome> {
+        let sorted = self.finished_by_latency();
+        if sorted.is_empty() {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        Some(sorted[rank - 1])
+    }
+
+    /// Mean share of finished-request latency attributed to each phase,
+    /// as `(name, share)` pairs summing to ~1, or `None` when nothing
+    /// finished.
+    pub fn attribution_shares(&self) -> Option<[(&'static str, f64); 7]> {
+        let finished = self.finished_by_latency();
+        if finished.is_empty() {
+            return None;
+        }
+        let total: f64 = finished.iter().map(|o| o.latency_s()).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut out = [("", 0.0); 7];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let phase: f64 = finished.iter().map(|o| o.segments.get(i)).sum();
+            *slot = (PhaseSegments::NAMES[i], phase / total);
+        }
+        Some(out)
+    }
+
+    /// "Where does p50/p90/p99 live" — per-phase mean seconds and share
+    /// over finished requests, plus the exact p50/p90/p99 requests'
+    /// own segments.
+    pub fn render_attribution(&self) -> String {
+        let finished = self.finished_by_latency();
+        if finished.is_empty() {
+            return "latency attribution: n/a (no requests finished)\n".to_owned();
+        }
+        let n = finished.len();
+        let mean_latency: f64 = finished.iter().map(|o| o.latency_s()).sum::<f64>() / n as f64;
+        let pick = |p: f64| {
+            self.percentile_outcome(p)
+                .expect("finished set is non-empty")
+        };
+        let (p50, p90, p99) = (pick(0.50), pick(0.90), pick(0.99));
+        let mut out = String::new();
+        let _ = writeln!(out, "latency attribution over {n} finished requests:");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>11} {:>7} {:>11} {:>11} {:>11}",
+            "phase", "mean s", "share", "p50 req s", "p90 req s", "p99 req s"
+        );
+        for (i, name) in PhaseSegments::NAMES.iter().enumerate() {
+            let mean = finished.iter().map(|o| o.segments.get(i)).sum::<f64>() / n as f64;
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>11.1} {:>6.1}% {:>11.1} {:>11.1} {:>11.1}",
+                name,
+                mean,
+                mean / mean_latency * 100.0,
+                p50.segments.get(i),
+                p90.segments.get(i),
+                p99.segments.get(i)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>11.1} {:>6.1}% {:>11.1} {:>11.1} {:>11.1}",
+            "total",
+            mean_latency,
+            100.0,
+            p50.latency_s(),
+            p90.latency_s(),
+            p99.latency_s()
+        );
+        out
+    }
+
+    /// ASCII waterfall of the exact p99 request: one bar per phase at
+    /// its cumulative offset within the request's latency.
+    pub fn render_p99_waterfall(&self) -> String {
+        const BAR_W: usize = 36;
+        let Some(o) = self.percentile_outcome(0.99) else {
+            return "p99 waterfall: n/a (no requests finished)\n".to_owned();
+        };
+        let latency = o.latency_s();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "p99 waterfall: request #{} (entity {}, {}) arrival {:.1} s, latency {:.1} s:",
+            o.request.id,
+            o.request.entity,
+            o.request.sample.name(),
+            o.request.arrival_s,
+            latency
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>11} {:>11}  |{:<36}|",
+            "phase", "start s", "dur s", "0% .. 100% of latency"
+        );
+        let mut offset = 0.0f64;
+        for (i, name) in PhaseSegments::NAMES.iter().enumerate() {
+            let dur = o.segments.get(i);
+            let lo = ((offset / latency) * BAR_W as f64).floor() as usize;
+            let hi = (((offset + dur) / latency) * BAR_W as f64).floor() as usize;
+            let mut bar = vec![b'.'; BAR_W];
+            for cell in bar.iter_mut().take(hi.min(BAR_W)).skip(lo.min(BAR_W)) {
+                *cell = b'#';
+            }
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>11.1} {:>11.1}  |{}|",
+                name,
+                offset,
+                dur,
+                String::from_utf8(bar).expect("ascii bar")
+            );
+            offset += dur;
+        }
+        out
+    }
 }
 
 /// Run the serving simulation. The tracer in `obs` must be fresh (the
@@ -393,11 +670,31 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
     let mut compiled: BTreeSet<SampleId> = BTreeSet::new();
     let mut inited = false;
 
+    // Observation-only telemetry: gauge counters cost integer ops and
+    // never feed back into any scheduling decision or priced float.
+    let mut timeline = if config.telemetry.timeline_interval_s > 0.0 {
+        Some(TimelineSampler::new(
+            config.telemetry.timeline_interval_s,
+            &TIMELINE_COLUMNS,
+        ))
+    } else {
+        None
+    };
+    let mut msa_outstanding = 0u64;
+    let mut fills_outstanding = 0u64;
+    let mut slo_obs: Vec<(f64, bool)> = Vec::new();
+    if let Some(tl) = timeline.as_mut() {
+        tl.set_many(&[0.0, 0.0, 0.0, cache.len() as f64, 0.0, 0.0, 0.0]);
+    }
+
     if let Some(first) = requests.first() {
         engine.schedule(first.arrival_s, Event::Arrival { request: 0 });
     }
 
     while let Some((now, event)) = engine.pop() {
+        if let Some(tl) = timeline.as_mut() {
+            tl.advance_to(now);
+        }
         match event {
             // Admission, cache lookup and CPU dispatch — the seed
             // scheduler's per-arrival sweep body. Arrivals are chained
@@ -417,8 +714,10 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         ready_s: req.arrival_s,
                         done_s: 0.0,
                         deadline_missed: false,
+                        segments: PhaseSegments::default(),
                     });
                 } else {
+                    let mut segments = PhaseSegments::default();
                     let coalesce = config.coalesce_misses
                         && !cache.contains(req.entity)
                         && in_flight.contains_key(&req.entity);
@@ -435,6 +734,8 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                                 entity: req.entity,
                             },
                         );
+                        fills_outstanding += 1;
+                        segments.cache_wait_s = ready - req.arrival_s;
                         (true, ready)
                     } else if cache.lookup(req.entity) {
                         let ready = req.arrival_s + shape.feature_load_s;
@@ -445,6 +746,8 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                                 entity: req.entity,
                             },
                         );
+                        fills_outstanding += 1;
+                        segments.cache_wait_s = ready - req.arrival_s;
                         (true, ready)
                     } else {
                         let w = workers
@@ -458,6 +761,9 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         workers[w] = done;
                         in_flight.insert(req.entity, done);
                         engine.schedule(done, Event::MsaDone { request, worker: w });
+                        msa_outstanding += 1;
+                        segments.msa_queue_wait_s = start - req.arrival_s;
+                        segments.msa_service_s = done - start;
                         (false, done)
                     };
                     outcomes.push(RequestOutcome {
@@ -467,6 +773,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         ready_s,
                         done_s: 0.0,
                         deadline_missed: false,
+                        segments,
                     });
                     if let Some(limit) = config.deadline.limit_seconds() {
                         deadline_timers[request] =
@@ -498,6 +805,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                     cache.insert(req.entity, costs.shape(req.sample).feature_bytes);
                 }
                 in_flight.remove(&req.entity);
+                msa_outstanding -= 1;
                 pool.push(request);
                 if now >= gpu_free {
                     engine.schedule(now, Event::BatchClose);
@@ -507,6 +815,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
             // A cached (or coalesced) feature load finished — the
             // request becomes GPU-ready.
             Event::CacheFill { request, .. } => {
+                fills_outstanding -= 1;
                 pool.push(request);
                 if now >= gpu_free {
                     engine.schedule(now, Event::BatchClose);
@@ -572,11 +881,13 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 obs.tracer
                     .child_span(batch_span, "dispatch", at, costs.dispatch_s);
                 at += costs.dispatch_s;
+                let compile_begin = at;
                 for &s in &new_shapes {
                     obs.tracer
                         .child_span(batch_span, "xla_compile", at, costs.shape(s).compile_s);
                     at += costs.shape(s).compile_s;
                 }
+                let compile_end = at;
                 for &idx in &batch {
                     let shape = costs.shape(outcomes[idx].request.sample);
                     obs.tracer
@@ -586,8 +897,15 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 debug_assert!((at - done).abs() < 1e-9);
                 for &idx in &batch {
                     outcomes[idx].done_s = done;
+                    let o = &mut outcomes[idx];
+                    o.segments.batch_wait_s += start - o.ready_s;
+                    o.segments.xla_compile_s += compile_end - compile_begin;
+                    o.segments.close(o.done_s - o.request.arrival_s);
                     outcomes[idx].deadline_missed =
                         config.deadline.exceeded(outcomes[idx].latency_s());
+                    if config.telemetry.slo.is_some() {
+                        slo_obs.push((done, !outcomes[idx].deadline_missed));
+                    }
                     // A met deadline disarms its timer; a missed one is
                     // left to fire (the completion already re-derived
                     // the flag with the seed expression, so the timer
@@ -627,6 +945,17 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
             // these for real.
             _ => {}
         }
+        if let Some(tl) = timeline.as_mut() {
+            tl.set_many(&[
+                msa_outstanding as f64,
+                workers.iter().filter(|&&t| t > now).count() as f64,
+                if gpu_free > now { 1.0 } else { 0.0 },
+                cache.len() as f64,
+                cache.hit_rate(),
+                fills_outstanding as f64,
+                0.0,
+            ]);
+        }
     }
 
     // Fold the outcomes into the report + metrics.
@@ -659,6 +988,28 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
 
     obs.tracer.advance(makespan_s);
     obs.tracer.end();
+
+    if let Some(tl) = timeline.as_mut() {
+        tl.finish(makespan_s);
+    }
+    let slo = config.telemetry.slo.map(|slo_config| {
+        let mut monitor = SloMonitor::new(slo_config);
+        for &(t, good) in &slo_obs {
+            monitor.observe(t, good);
+        }
+        let outcome = monitor.evaluate();
+        for tr in &outcome.transitions {
+            obs.tracer
+                .instant_at(tr.at_s, if tr.firing { "slo:burn" } else { "slo:clear" });
+            obs.tracer.instant_attr("burn", tr.burn);
+        }
+        let m = &mut obs.metrics;
+        m.inc("slo.burn_events", outcome.burn_events);
+        m.inc("slo.clear_events", outcome.clear_events);
+        m.set_gauge("slo.max_burn", outcome.max_burn);
+        m.set_gauge("slo.alert_seconds", outcome.alert_seconds);
+        outcome
+    });
 
     let m = &mut obs.metrics;
     m.inc("serve.requests", requests.len() as u64);
@@ -695,6 +1046,8 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
         cache_hit_rate: cache.hit_rate(),
         cache_coalesced: cache.coalesced(),
         latency: latency_hist.summary(),
+        timeline,
+        slo,
         outcomes,
     }
 }
