@@ -48,7 +48,7 @@ run cmp "$trace_dir/a/flame.txt" "$trace_dir/b/flame.txt"
 # show up as an intentional update to results/quick/, not silently.
 golden_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$golden_dir"' EXIT
-GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl serve-chaos serve-telemetry)
+GOLDEN_EXPERIMENTS=(table1 table2 fig2 estimator table4 table6 ablation-persistent ablation-storage serve serve-xl serve-chaos serve-telemetry serve-whatif)
 run target/release/afsysbench "${GOLDEN_EXPERIMENTS[@]}" --quick --out "$golden_dir/quick" > /dev/null
 for exp in "${GOLDEN_EXPERIMENTS[@]}"; do
     run diff -u "results/quick/$exp.txt" "$golden_dir/quick/$exp.txt"
@@ -101,5 +101,18 @@ run target/release/afsysbench profile serve-chaos --quick --timeline --out "$gol
 run cmp "$golden_dir/perf-a/BENCH_serve_chaos.json" "$golden_dir/perf-b/BENCH_serve_chaos.json"
 run cmp "$golden_dir/perf-a/serve-chaos.timeline.txt" "$golden_dir/perf-b/serve-chaos.timeline.txt"
 run target/release/afsysbench perf-diff results/BENCH_serve_chaos.json "$golden_dir/perf-a/BENCH_serve_chaos.json"
+
+# Causal-profiler gate: the what-if projection run must be
+# byte-deterministic (baseline, report, collapsed stacks and the
+# --critical-path artifact all identical across two same-seed runs) and
+# its critical-path shares, binding census and projection errors must
+# stay within tolerance of the committed baseline. The projection
+# *accuracy* gates themselves (MSA-dominant blame, GPU 2x < 1 %,
+# on-path error <= 10 pp) are asserted by crates/serve/tests/causal.rs.
+run target/release/afsysbench profile serve-whatif --quick --critical-path --out "$golden_dir/perf-a" > /dev/null
+run target/release/afsysbench profile serve-whatif --quick --critical-path --out "$golden_dir/perf-b" > /dev/null
+run cmp "$golden_dir/perf-a/BENCH_serve_whatif.json" "$golden_dir/perf-b/BENCH_serve_whatif.json"
+run cmp "$golden_dir/perf-a/serve-whatif.critpath.txt" "$golden_dir/perf-b/serve-whatif.critpath.txt"
+run target/release/afsysbench perf-diff results/BENCH_serve_whatif.json "$golden_dir/perf-a/BENCH_serve_whatif.json"
 
 echo "==> tier-1 gate passed"

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! afsysbench <experiment...|all> [--quick] [--out DIR]
-//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl|serve-chaos>... [--quick] [--timeline] [--out DIR]
+//! afsysbench profile <pipeline|msa-sweep|serve|serve-xl|serve-chaos|serve-whatif>... [--quick] [--timeline] [--critical-path] [--out DIR]
 //! afsysbench perf-diff <baseline.json> <current.json>
 //! ```
 //!
@@ -27,13 +27,22 @@
 //! armed and prints the gauge-timeline dashboard, per-request latency
 //! attribution, p99 waterfall, and SLO burn-rate log.
 //!
+//! `serve-whatif` runs the causal profiler: critical-path extraction
+//! over the provenance-armed `cold` scenario, per-request binding
+//! classification, and the canonical virtual speedups (MSA 2×, GPU 2×,
+//! XLA 2×, +4 workers, infinite cache) projected from the recorded
+//! event DAG and validated against ground-truth re-runs.
+//!
 //! `profile` writes `BENCH_<experiment>.json` (the diffable baseline),
 //! `<experiment>.profile.txt` (the perf-stat/sampled/iostat session
 //! report) and `<experiment>.collapsed.txt` (flamegraph input) to the
 //! `--out` directory (default `.`); with `--timeline`, serving
 //! experiments also write `<experiment>.timeline.txt` (gauge timeline +
 //! SLO log) and `<experiment>.latency.csv` (latency histogram bucket
-//! dump). `perf-diff` exits 0 when the
+//! dump); with `--critical-path`, provenance-armed experiments also
+//! write `<experiment>.critpath.txt` (whole-run critical path per
+//! scenario: blame shares + collapsed stacks) — the flag adds an
+//! artifact and never changes the BENCH bytes. `perf-diff` exits 0 when the
 //! current profile is within tolerance of the baseline, 1 on
 //! regression (offending symbols named), 2 on usage or I/O errors.
 
@@ -68,12 +77,13 @@ const EXPERIMENTS: &[&str] = &[
     "serve-xl",
     "serve-chaos",
     "serve-telemetry",
+    "serve-whatif",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: afsysbench <experiment...|all> [--quick] [--out DIR]\n\
-         \x20      afsysbench profile <experiment>... [--quick] [--timeline] [--out DIR]\n\
+         \x20      afsysbench profile <experiment>... [--quick] [--timeline] [--critical-path] [--out DIR]\n\
          \x20      afsysbench perf-diff <baseline.json> <current.json>\n\n\
          experiments: {}\nprofile experiments: {}",
         EXPERIMENTS.join(", "),
@@ -108,6 +118,7 @@ fn run_one(harness: &mut Harness, name: &str) -> Option<String> {
         "serve-xl" => harness.serve_xl(),
         "serve-chaos" => harness.serve_chaos(),
         "serve-telemetry" => harness.serve_telemetry(),
+        "serve-whatif" => harness.serve_whatif(),
         "trace" => {
             let (mut text, trace, flame) = harness.trace(17);
             let trace_path = PathBuf::from(
@@ -136,7 +147,13 @@ fn write_out(dir: &Path, name: &str, content: &str) {
     println!("wrote {}", dir.join(name).display());
 }
 
-fn cmd_profile(experiments: &[String], quick: bool, timeline: bool, out_dir: &Path) -> ! {
+fn cmd_profile(
+    experiments: &[String],
+    quick: bool,
+    timeline: bool,
+    critical_path: bool,
+    out_dir: &Path,
+) -> ! {
     if experiments.is_empty() {
         eprintln!(
             "profile needs at least one experiment (available: {})",
@@ -176,6 +193,16 @@ fn cmd_profile(experiments: &[String], quick: bool, timeline: bool, out_dir: &Pa
             }
             if let Some(csv) = &artifacts.latency_csv {
                 write_out(out_dir, &format!("{exp}.latency.csv"), csv);
+            }
+        }
+        if critical_path {
+            match &artifacts.critpath {
+                Some(text) => write_out(out_dir, &format!("{exp}.critpath.txt"), text),
+                None => {
+                    eprintln!(
+                        "profile {exp} has no critical-path artifact (--critical-path ignored)"
+                    )
+                }
             }
         }
     }
@@ -219,12 +246,14 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut quick = false;
     let mut timeline = false;
+    let mut critical_path = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--timeline" => timeline = true,
+            "--critical-path" => critical_path = true,
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -246,6 +275,7 @@ fn main() {
             &targets[1..],
             quick,
             timeline,
+            critical_path,
             out_dir.as_deref().unwrap_or(Path::new(".")),
         );
     }

@@ -671,6 +671,15 @@ impl Harness {
         afsb_serve::chaos::render_chaos_summary(&runs)
     }
 
+    /// Causal what-if projection: critical-path extraction over the
+    /// provenance-armed `cold` scenario, per-request binding
+    /// classification, and every canonical virtual speedup projected
+    /// from the recorded DAG then validated by a ground-truth re-run.
+    pub fn serve_whatif(&self) -> String {
+        let report = afsb_serve::run_whatif(self.quick);
+        afsb_serve::render_whatif(&report)
+    }
+
     /// Serving telemetry: the canonical scenarios plus the
     /// storage-brownout campaign with the observation-only telemetry
     /// layer armed — gauge timeline + sparkline dashboard, per-request

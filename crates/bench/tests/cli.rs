@@ -140,7 +140,18 @@ fn profile_writes_artifacts_and_perf_diff_gates() {
         "{}",
         String::from_utf8_lossy(&ok.stdout)
     );
-    assert!(String::from_utf8_lossy(&ok.stdout).contains("perf-diff OK"));
+    let ok_stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(ok_stdout.contains("perf-diff OK"));
+    // The pass line carries the one-line comparison summary: how many
+    // metrics and symbol rows were compared and how many passed.
+    assert!(
+        ok_stdout.contains("metrics,") && ok_stdout.contains("symbol rows compared,"),
+        "pass summary must report comparison counts: {ok_stdout}"
+    );
+    assert!(
+        ok_stdout.contains("within tolerance"),
+        "pass summary must report the within-tolerance count: {ok_stdout}"
+    );
 
     // A corrupted current profile fails with exit 1 and names the symbol.
     let text = std::fs::read_to_string(&baseline).unwrap();

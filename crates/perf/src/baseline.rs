@@ -323,6 +323,11 @@ pub struct DiffReport {
     pub notes: Vec<String>,
     /// Values compared.
     pub compared: usize,
+    /// Scalar metrics compared (subset of `compared`).
+    pub metrics_compared: usize,
+    /// Symbol rows compared — per-symbol table rows plus the sampled
+    /// top-N (subset of `compared`).
+    pub symbol_rows_compared: usize,
 }
 
 impl DiffReport {
@@ -331,14 +336,21 @@ impl DiffReport {
         self.regressions.is_empty()
     }
 
+    /// Values that landed within tolerance.
+    pub fn within_tolerance(&self) -> usize {
+        self.compared.saturating_sub(self.regressions.len())
+    }
+
     /// Render the comparison outcome.
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.passed() {
             let _ = writeln!(
                 out,
-                "perf-diff OK: {} values within tolerance",
-                self.compared
+                "perf-diff OK: {} metrics, {} symbol rows compared, {} within tolerance",
+                self.metrics_compared,
+                self.symbol_rows_compared,
+                self.within_tolerance()
             );
         } else {
             let _ = writeln!(
@@ -381,6 +393,7 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
 
     for (name, base) in &baseline.metrics {
         report.compared += 1;
+        report.metrics_compared += 1;
         let Some(cur) = current.metric(name) else {
             report.regressions.push(Finding {
                 name: name.clone(),
@@ -428,6 +441,7 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
     for (name, cur) in &current.metrics {
         if baseline.metric(name).is_none() {
             report.compared += 1;
+            report.metrics_compared += 1;
             report.regressions.push(Finding {
                 name: name.clone(),
                 baseline: f64::NAN,
@@ -451,6 +465,7 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
         }
         for row in &table.rows {
             report.compared += 1;
+            report.symbol_rows_compared += 1;
             let path = format!("{}/{}", table.name, row.symbol);
             let cur_row = cur_table.and_then(|t| t.rows.iter().find(|r| r.symbol == row.symbol));
             let Some(cur_row) = cur_row else {
@@ -511,6 +526,7 @@ pub fn diff(baseline: &PerfBaseline, current: &PerfBaseline, tol: &DiffTolerance
 
     for (symbol, base_share) in &baseline.sampled.top {
         report.compared += 1;
+        report.symbol_rows_compared += 1;
         let cur_share = current
             .sampled
             .top
@@ -590,6 +606,22 @@ mod tests {
         let d = diff(&b, &b, &DiffTolerances::default());
         assert!(d.passed(), "{}", d.render());
         assert!(d.compared > 0);
+    }
+
+    #[test]
+    fn pass_summary_counts_metrics_and_symbol_rows() {
+        let b = baseline();
+        let d = diff(&b, &b, &DiffTolerances::default());
+        assert!(d.passed());
+        assert_eq!(d.metrics_compared, 2);
+        assert_eq!(d.symbol_rows_compared, 3, "2 table rows + 1 sampled");
+        assert_eq!(d.within_tolerance(), d.compared);
+        let rendered = d.render();
+        assert!(
+            rendered
+                .starts_with("perf-diff OK: 2 metrics, 3 symbol rows compared, 5 within tolerance"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   baseline, worker-churn, storage-brownout, gpu-flap, kitchen-sink)
 //!   with the recovery policy on, yielding per-scenario availability,
 //!   goodput, disposition counts and fault/lost-time accounting.
+//! * `serve-whatif` — the causal profiler: critical-path blame shares
+//!   over the provenance-armed `cold` scenario, per-request binding
+//!   classification, and every canonical virtual speedup projected
+//!   from the recorded DAG then validated by a ground-truth re-run.
 //!
 //! All are fully deterministic: the same seed and mode produce a
 //! byte-identical baseline file.
@@ -39,8 +43,14 @@ use afsb_simarch::Platform;
 use std::fmt::Write as _;
 
 /// Experiments `afsysbench profile` understands.
-pub const PROFILE_EXPERIMENTS: [&str; 5] =
-    ["pipeline", "msa-sweep", "serve", "serve-xl", "serve-chaos"];
+pub const PROFILE_EXPERIMENTS: [&str; 6] = [
+    "pipeline",
+    "msa-sweep",
+    "serve",
+    "serve-xl",
+    "serve-chaos",
+    "serve-whatif",
+];
 
 /// Seed shared by the profiled runs (matches the bench harness).
 pub const PROFILE_SEED: u64 = 17;
@@ -63,6 +73,10 @@ pub struct ProfileArtifacts {
     /// Serving latency histogram bucket dump (CSV, `--timeline`
     /// artifact); `Some` whenever a serving run was profiled.
     pub latency_csv: Option<String>,
+    /// Whole-run critical path per scenario (`--critical-path`
+    /// artifact): ASCII blame report plus the collapsed-stack export;
+    /// `Some` when the profiled run recorded provenance.
+    pub critpath: Option<String>,
 }
 
 /// The canonical baseline file name for an experiment
@@ -80,6 +94,7 @@ pub fn run_profile(experiment: &str, quick: bool) -> Result<ProfileArtifacts, St
         "serve" => Ok(profile_serve(quick)),
         "serve-xl" => Ok(profile_serve_xl(quick)),
         "serve-chaos" => Ok(profile_serve_chaos(quick)),
+        "serve-whatif" => Ok(profile_serve_whatif(quick)),
         other => Err(format!(
             "unknown profile experiment `{other}` (available: {})",
             PROFILE_EXPERIMENTS.join(", ")
@@ -177,6 +192,7 @@ pub fn profile_pipeline(quick: bool) -> ProfileArtifacts {
         collapsed: sampled.collapsed(),
         timeline: None,
         latency_csv: None,
+        critpath: None,
     }
 }
 
@@ -261,6 +277,7 @@ pub fn profile_msa_sweep(quick: bool) -> ProfileArtifacts {
         collapsed: sampled.collapsed(),
         timeline: None,
         latency_csv: None,
+        critpath: None,
     }
 }
 
@@ -327,6 +344,11 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
         .histogram("serve.latency_s")
         .map(|h| h.to_csv());
 
+    let critpath: String = runs
+        .iter()
+        .filter_map(|run| critpath_block(run.name, &run.report.base))
+        .collect();
+
     ProfileArtifacts {
         baseline: PerfBaseline {
             experiment: "serve-chaos".to_owned(),
@@ -340,7 +362,89 @@ pub fn profile_serve_chaos(quick: bool) -> ProfileArtifacts {
         collapsed: sampled.collapsed(),
         timeline: (!timeline.is_empty()).then_some(timeline),
         latency_csv,
+        critpath: (!critpath.is_empty()).then_some(critpath),
     }
+}
+
+/// Profile the causal what-if experiment: critical-path extraction
+/// over the provenance-armed `cold` scenario plus every canonical
+/// virtual speedup projected from the recorded DAG and validated by a
+/// ground-truth re-run. The `whatif.*` metrics carry both sides of
+/// each projection, so the committed baseline gates the projector's
+/// accuracy itself.
+pub fn profile_serve_whatif(quick: bool) -> ProfileArtifacts {
+    let r = afsb_serve::run_whatif(quick);
+    let mut metrics = Vec::new();
+    metrics.push(("wall.cold_makespan_s".to_owned(), r.baseline_makespan_s));
+    metrics.push(("cold.qph".to_owned(), r.baseline_qph));
+    for (edge, _, share) in r.path.blame_shares(0.0) {
+        metrics.push((format!("critpath.{}.share", edge.label()), share));
+    }
+    for &edge in &afsb_rt::sim::WaitEdge::ALL {
+        metrics.push((
+            format!("binding.{}", edge.label()),
+            r.bindings[edge.index()] as f64,
+        ));
+    }
+    metrics.push((
+        "binding.off_path_batch_waiters".to_owned(),
+        r.off_path_batch_waiters as f64,
+    ));
+    for row in &r.rows {
+        let p = &row.label;
+        metrics.push((format!("whatif.{p}.target_share"), row.target_share));
+        metrics.push((
+            format!("whatif.{p}.predicted_delta_pct"),
+            row.predicted_delta_pct(r.baseline_makespan_s),
+        ));
+        metrics.push((
+            format!("whatif.{p}.actual_delta_pct"),
+            row.actual_delta_pct(r.baseline_makespan_s),
+        ));
+        metrics.push((
+            format!("whatif.{p}.error_pp"),
+            row.error_pp(r.baseline_makespan_s),
+        ));
+    }
+
+    let sampled = SampledProfile::capture_n(&r.obs.tracer, DEFAULT_SAMPLES);
+    let mut report_text = afsb_serve::render_whatif(&r);
+    report_text.push('\n');
+    report_text.push_str(&sampled.render_top(SAMPLED_TOP_N));
+
+    let mut critpath = r.path.render("cold");
+    critpath.push('\n');
+    critpath.push_str(&r.path.collapsed("critpath;cold"));
+
+    ProfileArtifacts {
+        baseline: PerfBaseline {
+            experiment: "serve-whatif".to_owned(),
+            seed: afsb_serve::scenario::SERVE_SEED,
+            quick,
+            metrics,
+            symbol_tables: Vec::new(),
+            sampled: SampledSummary::from_profile(&sampled, SAMPLED_TOP_N),
+        },
+        report_text,
+        collapsed: sampled.collapsed(),
+        timeline: None,
+        latency_csv: None,
+        critpath: Some(critpath),
+    }
+}
+
+/// One scenario's whole-run critical path as a `--critical-path`
+/// artifact block: the ASCII blame report plus the collapsed-stack
+/// export (same format as the flamegraph inputs). `None` when the run
+/// recorded no provenance or served nothing.
+fn critpath_block(name: &str, report: &afsb_serve::ServeReport) -> Option<String> {
+    let log = report.causal.as_ref()?;
+    let path = afsb_rt::obs::causal::critical_path(&log.edges, log.makespan_event?);
+    let mut out = path.render(name);
+    out.push('\n');
+    out.push_str(&path.collapsed(&format!("critpath;{name}")));
+    out.push('\n');
+    Some(out)
 }
 
 fn serve_artifacts(
@@ -385,6 +489,10 @@ fn serve_artifacts(
         .metrics
         .histogram("serve.latency_s")
         .map(|h| h.to_csv());
+    let critpath: String = runs
+        .iter()
+        .filter_map(|run| critpath_block(run.name, &run.report))
+        .collect();
 
     ProfileArtifacts {
         baseline: PerfBaseline {
@@ -399,6 +507,7 @@ fn serve_artifacts(
         collapsed: sampled.collapsed(),
         timeline: (!timeline.is_empty()).then_some(timeline),
         latency_csv,
+        critpath: (!critpath.is_empty()).then_some(critpath),
     }
 }
 
@@ -441,6 +550,54 @@ mod tests {
         assert_eq!(baseline_file_name("serve"), "BENCH_serve.json");
         assert_eq!(baseline_file_name("serve-xl"), "BENCH_serve_xl.json");
         assert_eq!(baseline_file_name("serve-chaos"), "BENCH_serve_chaos.json");
+        assert_eq!(
+            baseline_file_name("serve-whatif"),
+            "BENCH_serve_whatif.json"
+        );
+    }
+
+    #[test]
+    fn quick_serve_whatif_profile_carries_projection_and_critpath() {
+        let a = profile_serve_whatif(true);
+        assert_eq!(a.baseline.experiment, "serve-whatif");
+        assert!(a.baseline.metric("wall.cold_makespan_s").unwrap() > 0.0);
+        // The paper's starvation finding, causally: on cold the MSA
+        // pool carries the dominant critical-path share.
+        let msa_share = a.baseline.metric("critpath.worker-busy.share").unwrap();
+        assert!(msa_share > 0.5, "msa share {msa_share}");
+        for what in ["msa_2x", "gpu_2x", "xla_2x", "workers_plus4", "cache_inf"] {
+            for m in ["predicted_delta_pct", "actual_delta_pct", "error_pp"] {
+                assert!(
+                    a.baseline.metric(&format!("whatif.{what}.{m}")).is_some(),
+                    "whatif.{what}.{m} missing"
+                );
+            }
+        }
+        let critpath = a.critpath.as_deref().expect("critpath artifact present");
+        assert!(critpath.contains("critical path: cold"));
+        assert!(critpath.contains("critpath;cold;worker-busy;msa-done"));
+        assert!(a.report_text.contains("what-if projection"));
+        assert!(a.baseline.sampled.total_samples > 0);
+    }
+
+    #[test]
+    fn serve_profiles_carry_per_scenario_critpath_blocks() {
+        let a = profile_serve(true);
+        let critpath = a.critpath.as_deref().expect("serve critpath present");
+        for scenario in ["cold", "nocache", "warm", "warm_b1"] {
+            assert!(
+                critpath.contains(&format!("critical path: {scenario}")),
+                "{scenario} block missing"
+            );
+        }
+        let c = profile_serve_chaos(true);
+        let chaos_critpath = c.critpath.as_deref().expect("chaos critpath present");
+        for scenario in ["baseline", "kitchen-sink"] {
+            assert!(
+                chaos_critpath.contains(&format!("critical path: {scenario}")),
+                "{scenario} block missing"
+            );
+        }
     }
 
     #[test]

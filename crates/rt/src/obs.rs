@@ -30,6 +30,7 @@
 //! carries the metrics snapshot in the file's `otherData` section so a
 //! single artifact holds the whole observation.
 
+pub mod causal;
 pub mod timeline;
 
 use crate::json::{obj, Json};

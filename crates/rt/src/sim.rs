@@ -37,6 +37,21 @@
 //! [`crate::obs::Tracer`] as an instant (`sim:<label>`) for Perfetto
 //! inspection; the untraced [`SimEngine::pop`] is the byte-identical
 //! hot path.
+//!
+//! # Provenance (the causal profiler's substrate)
+//!
+//! With [`SimEngine::record_provenance`] armed, every schedule call
+//! also records a [`ProvenanceEdge`]: the event's causal **parent**
+//! (the event being handled when it was scheduled — `None` for events
+//! scheduled before the first pop) and a typed [`WaitEdge`] label
+//! naming the resource the child waited on (supplied by the consumer
+//! via [`SimEngine::schedule_tagged`]; plain [`SimEngine::schedule`]
+//! tags [`WaitEdge::External`]). Cancelled timers can never appear as
+//! parents: a parent is by definition a *popped* event, and cancelled
+//! entries are skipped at pop time. Recording is pure bookkeeping — it
+//! allocates no floats into the schedule and leaves pop order, clock
+//! motion and every consumer-visible value byte-identical
+//! ([`crate::obs::causal`] walks the edges afterwards).
 
 use crate::fault::FaultKind;
 use crate::obs::Tracer;
@@ -123,6 +138,93 @@ impl Event {
     }
 }
 
+/// The typed wait-edge vocabulary: which resource a scheduled event
+/// waited on before it could fire. Consumers tag each
+/// [`SimEngine::schedule_tagged`] call with the blocking resource; the
+/// critical-path walker ([`crate::obs::causal`]) aggregates blame by
+/// this label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitEdge {
+    /// Externally driven (arrival streams, fault plans, anything
+    /// scheduled without a resource tag).
+    External,
+    /// Waited for a CPU pool worker (queue + MSA service).
+    WorkerBusy,
+    /// Waited for a storage-priced feature-cache fill or load.
+    CacheFill,
+    /// Waited for the batch-formation trigger to close a GPU batch.
+    BatchClose,
+    /// Waited for the GPU (dispatch queue + inference service).
+    GpuBusy,
+    /// Waited for admission control (retry backoff, breaker cooldown).
+    Admission,
+    /// A deadline timer armed against the request's latency budget.
+    Deadline,
+}
+
+impl WaitEdge {
+    /// Every edge kind, in the canonical report order.
+    pub const ALL: [WaitEdge; 7] = [
+        WaitEdge::External,
+        WaitEdge::WorkerBusy,
+        WaitEdge::CacheFill,
+        WaitEdge::BatchClose,
+        WaitEdge::GpuBusy,
+        WaitEdge::Admission,
+        WaitEdge::Deadline,
+    ];
+
+    /// Stable short label used in blame tables and collapsed stacks.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitEdge::External => "external",
+            WaitEdge::WorkerBusy => "worker-busy",
+            WaitEdge::CacheFill => "cache-fill",
+            WaitEdge::BatchClose => "batch-close",
+            WaitEdge::GpuBusy => "gpu-busy",
+            WaitEdge::Admission => "admission",
+            WaitEdge::Deadline => "deadline",
+        }
+    }
+
+    /// Position in [`WaitEdge::ALL`] (canonical report order).
+    pub fn index(self) -> usize {
+        match self {
+            WaitEdge::External => 0,
+            WaitEdge::WorkerBusy => 1,
+            WaitEdge::CacheFill => 2,
+            WaitEdge::BatchClose => 3,
+            WaitEdge::GpuBusy => 4,
+            WaitEdge::Admission => 5,
+            WaitEdge::Deadline => 6,
+        }
+    }
+}
+
+/// One recorded causal edge: event `seq` was scheduled to fire at
+/// `at_s` while `parent` was being handled, after waiting on `edge`.
+/// Indexed by `seq` in [`SimEngine::provenance`] — every schedule call
+/// appends exactly one record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProvenanceEdge {
+    /// The scheduled event's sequence number (== its [`TimerId::seq`]).
+    pub seq: u64,
+    /// Sequence number of the event being handled at schedule time;
+    /// `None` when scheduled outside any event handler (seeding).
+    pub parent: Option<u64>,
+    /// The resource the child waited on before firing.
+    pub edge: WaitEdge,
+    /// The (clamp-adjusted) simulated second the event fires at.
+    pub at_s: f64,
+    /// The event's stable label ([`Event::label`]).
+    pub label: &'static str,
+    /// Whether the timer was cancelled before firing. Cancelled
+    /// entries are never popped, so they can never be a `parent`.
+    pub cancelled: bool,
+    /// Whether the event has been popped (delivered) yet.
+    pub delivered: bool,
+}
+
 /// One heap entry. Ordered by `(time, seq)` — the heap is a max-heap,
 /// so the comparison is reversed to pop the earliest time first and,
 /// within a timestamp, the lowest sequence number (insertion order).
@@ -168,6 +270,13 @@ pub struct SimEngine {
     /// sorted (they are pushed in cancel order and removed at pop).
     cancelled: Vec<u64>,
     popped: u64,
+    /// Causal edge log, one record per schedule call, indexed by seq.
+    /// `None` until [`SimEngine::record_provenance`] arms it.
+    provenance: Option<Vec<ProvenanceEdge>>,
+    /// Seq of the event currently being handled (set at pop) — the
+    /// causal parent attributed to every schedule call made while the
+    /// consumer processes that event.
+    current: Option<u64>,
 }
 
 impl SimEngine {
@@ -206,14 +315,30 @@ impl SimEngine {
     /// Panics when `at_s` is NaN or infinite — a non-finite timestamp
     /// would silently corrupt the heap order.
     pub fn schedule(&mut self, at_s: f64, event: Event) -> TimerId {
+        self.schedule_tagged(at_s, event, WaitEdge::External)
+    }
+
+    /// [`SimEngine::schedule`] with an explicit [`WaitEdge`] naming the
+    /// resource the event waited on — the tag the causal profiler
+    /// aggregates blame by. With provenance off the tag is dropped and
+    /// the call is identical to `schedule`.
+    pub fn schedule_tagged(&mut self, at_s: f64, event: Event, edge: WaitEdge) -> TimerId {
         assert!(at_s.is_finite(), "event time must be finite, got {at_s}");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
-            at_s: at_s.max(self.now_s),
-            seq,
-            event,
-        });
+        let at_s = at_s.max(self.now_s);
+        if let Some(edges) = self.provenance.as_mut() {
+            edges.push(ProvenanceEdge {
+                seq,
+                parent: self.current,
+                edge,
+                at_s,
+                label: event.label(),
+                cancelled: false,
+                delivered: false,
+            });
+        }
+        self.heap.push(Scheduled { at_s, seq, event });
         TimerId(seq)
     }
 
@@ -238,6 +363,9 @@ impl SimEngine {
         // Live iff still somewhere in the heap; popped entries are gone.
         if self.heap.iter().any(|s| s.seq == id.0) {
             self.cancelled.push(id.0);
+            if let Some(edges) = self.provenance.as_mut() {
+                edges[id.0 as usize].cancelled = true;
+            }
             true
         } else {
             false
@@ -262,6 +390,10 @@ impl SimEngine {
             }
             self.advance_to(s.at_s);
             self.popped += 1;
+            self.current = Some(s.seq);
+            if let Some(edges) = self.provenance.as_mut() {
+                edges[s.seq as usize].delivered = true;
+            }
             return Some((s.at_s, s.event, TimerId(s.seq)));
         }
         None
@@ -308,6 +440,31 @@ impl SimEngine {
     /// Events scheduled so far (including cancelled ones).
     pub fn events_scheduled(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Arm causal-edge recording. Must be called before the first
+    /// schedule so the edge log stays seq-indexed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when events have already been scheduled.
+    pub fn record_provenance(&mut self) {
+        assert!(
+            self.next_seq == 0,
+            "record_provenance must be armed before any event is scheduled"
+        );
+        self.provenance = Some(Vec::new());
+    }
+
+    /// Whether causal-edge recording is armed.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// The recorded causal edges, one per schedule call, indexed by
+    /// seq. Empty unless [`SimEngine::record_provenance`] was armed.
+    pub fn provenance(&self) -> &[ProvenanceEdge] {
+        self.provenance.as_deref().unwrap_or(&[])
     }
 }
 
@@ -397,6 +554,70 @@ mod tests {
             t.instant_names(),
             vec!["sim:gpu-done", "sim:gpu-init-failure"]
         );
+    }
+
+    #[test]
+    fn provenance_records_parents_and_tags() {
+        let mut e = SimEngine::new();
+        e.record_provenance();
+        assert!(e.provenance_enabled());
+        // Seeded before any pop: no parent, default External tag.
+        e.schedule(1.0, Event::Arrival { request: 0 });
+        let (_, _ev) = e.pop().unwrap();
+        // Scheduled while handling the arrival: parent is its seq.
+        let msa = e.schedule_tagged(
+            4.0,
+            Event::MsaDone {
+                request: 0,
+                worker: 0,
+            },
+            WaitEdge::WorkerBusy,
+        );
+        e.pop().unwrap();
+        let close = e.schedule_tagged(4.0, Event::BatchClose, WaitEdge::BatchClose);
+        let edges = e.provenance();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0].parent, None);
+        assert_eq!(edges[0].edge, WaitEdge::External);
+        assert_eq!(edges[msa.seq() as usize].parent, Some(0));
+        assert_eq!(edges[msa.seq() as usize].edge, WaitEdge::WorkerBusy);
+        assert_eq!(edges[msa.seq() as usize].label, "msa-done");
+        assert!(edges[msa.seq() as usize].delivered);
+        assert_eq!(edges[close.seq() as usize].parent, Some(msa.seq()));
+        assert!(!edges[close.seq() as usize].delivered);
+    }
+
+    #[test]
+    fn provenance_marks_cancelled_timers() {
+        let mut e = SimEngine::new();
+        e.record_provenance();
+        let keep = e.schedule(1.0, Event::Arrival { request: 0 });
+        let kill = e.schedule(2.0, Event::DeadlineExpired { request: 0 });
+        assert!(e.cancel(kill));
+        while e.pop().is_some() {}
+        let edges = e.provenance();
+        assert!(edges[kill.seq() as usize].cancelled);
+        assert!(!edges[kill.seq() as usize].delivered);
+        assert!(edges[keep.seq() as usize].delivered);
+        // A cancelled timer is never handled, so nothing scheduled
+        // afterwards can name it as a parent.
+        assert!(edges.iter().all(|x| x.parent != Some(kill.seq())));
+    }
+
+    #[test]
+    fn provenance_off_records_nothing() {
+        let mut e = SimEngine::new();
+        e.schedule(1.0, Event::BatchClose);
+        assert!(!e.provenance_enabled());
+        assert!(e.provenance().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event")]
+    fn provenance_cannot_arm_mid_run() {
+        let mut e = SimEngine::new();
+        e.schedule(1.0, Event::BatchClose);
+        e.record_provenance();
     }
 
     #[test]

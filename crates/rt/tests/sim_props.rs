@@ -7,9 +7,16 @@
 //! 3. An interleaved push/pop schedule drawn from a seeded RNG drains
 //!    identically across two replays — the queue itself is a pure
 //!    function of the schedule calls.
+//!
+//! Plus the provenance invariants the causal profiler
+//! (`rt::obs::causal`) walks over:
+//!
+//! 4. Every recorded parent precedes its child in `(time, seq)` order.
+//! 5. A cancelled timer never appears as anyone's parent.
+//! 6. Two same-seed runs record byte-identical edge lists.
 
 use afsb_rt::check::{run, Config};
-use afsb_rt::sim::{Event, SimEngine, TimerId};
+use afsb_rt::sim::{Event, SimEngine, TimerId, WaitEdge};
 
 /// Drain the engine, returning `(time, request-payload)` pairs.
 fn drain(e: &mut SimEngine) -> Vec<(f64, usize)> {
@@ -154,6 +161,143 @@ fn interleaved_push_pop_replays_identically() {
             assert_eq!(log_a, log_b, "two replays of one schedule diverged");
             // Popped times are monotone per engine run.
             assert!(log_a.windows(2).all(|w| w[0].0 <= w[1].0));
+        },
+    );
+}
+
+/// Drive a provenance-armed engine through a seeded cascade: seed
+/// `roots` as untagged arrivals, then on each pop consume one op —
+/// schedule a tagged child at `now + delay`, or cancel a previously
+/// issued timer. Returns the engine fully drained.
+fn simulate_cascade(roots: &[f64], ops: &[(u64, f64, u64)]) -> SimEngine {
+    let mut e = SimEngine::new();
+    e.record_provenance();
+    let mut live: Vec<TimerId> = Vec::new();
+    for (request, &at) in roots.iter().enumerate() {
+        live.push(e.schedule(at, Event::Arrival { request }));
+    }
+    let mut next_op = 0;
+    while let Some((now, _)) = e.pop() {
+        if next_op >= ops.len() {
+            continue; // ops exhausted: drain the remainder untouched
+        }
+        let (kind, delay, pick) = ops[next_op];
+        next_op += 1;
+        match kind % 3 {
+            // Two in three ops extend the cascade with a tagged child.
+            0 | 1 => {
+                let edge = WaitEdge::ALL[(pick % WaitEdge::ALL.len() as u64) as usize];
+                let request = next_op;
+                live.push(e.schedule_tagged(now + delay, Event::Arrival { request }, edge));
+            }
+            // One in three cancels a previously issued timer (it may
+            // already have fired or been cancelled — both are legal).
+            _ => {
+                if !live.is_empty() {
+                    let id = live[pick as usize % live.len()];
+                    e.cancel(id);
+                }
+            }
+        }
+    }
+    e
+}
+
+#[test]
+fn provenance_parent_precedes_child_in_time_seq_order() {
+    run(
+        "provenance_parent_precedes_child_in_time_seq_order",
+        Config::cases(128),
+        |g| {
+            let roots: Vec<f64> = (0..g.range(1usize..6))
+                .map(|_| g.range(0.0..50.0))
+                .collect();
+            let ops = g.vec(1..150, |g| {
+                (g.range(0u64..3), g.range(0.0..50.0), g.range(0u64..1 << 30))
+            });
+            let e = simulate_cascade(&roots, &ops);
+            let prov = e.provenance();
+            assert!(!prov.is_empty(), "cascade must record edges");
+            for (i, edge) in prov.iter().enumerate() {
+                assert_eq!(edge.seq, i as u64, "edges are indexed by seq");
+                let Some(p) = edge.parent else { continue };
+                let parent = &prov[p as usize];
+                assert!(
+                    parent.seq < edge.seq,
+                    "parent {} must precede child {} in seq",
+                    parent.seq,
+                    edge.seq
+                );
+                assert!(
+                    parent.at_s <= edge.at_s,
+                    "parent fires at {} but child fires earlier at {}",
+                    parent.at_s,
+                    edge.at_s
+                );
+                assert!(parent.delivered, "a parent must have been popped");
+            }
+        },
+    );
+}
+
+#[test]
+fn provenance_cancelled_timers_are_never_parents() {
+    run(
+        "provenance_cancelled_timers_are_never_parents",
+        Config::cases(128),
+        |g| {
+            let roots: Vec<f64> = (0..g.range(1usize..6))
+                .map(|_| g.range(0.0..50.0))
+                .collect();
+            // Bias toward cancellation (kinds 2..6 all cancel under
+            // `% 3` only for 2 and 5 — draw from 0..6 to get ~1/3).
+            let ops = g.vec(1..150, |g| {
+                (g.range(0u64..6), g.range(0.0..50.0), g.range(0u64..1 << 30))
+            });
+            let e = simulate_cascade(&roots, &ops);
+            let prov = e.provenance();
+            for edge in prov {
+                assert!(
+                    !(edge.cancelled && edge.delivered),
+                    "a cancelled timer must never fire"
+                );
+                if let Some(p) = edge.parent {
+                    assert!(
+                        !prov[p as usize].cancelled,
+                        "cancelled timer {p} appears as a parent"
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn provenance_same_seed_runs_record_identical_edge_lists() {
+    run(
+        "provenance_same_seed_runs_record_identical_edge_lists",
+        Config::cases(64),
+        |g| {
+            let roots: Vec<f64> = (0..g.range(1usize..6))
+                .map(|_| g.range(0.0..50.0))
+                .collect();
+            let ops = g.vec(1..150, |g| {
+                (g.range(0u64..3), g.range(0.0..50.0), g.range(0u64..1 << 30))
+            });
+            let a = simulate_cascade(&roots, &ops);
+            let b = simulate_cascade(&roots, &ops);
+            assert_eq!(
+                a.provenance().len(),
+                b.provenance().len(),
+                "edge counts diverged"
+            );
+            // Byte-identical: the Debug rendering covers every field,
+            // including the f64 times formatted exactly.
+            assert_eq!(
+                format!("{:?}", a.provenance()),
+                format!("{:?}", b.provenance()),
+                "same schedule must record byte-identical provenance"
+            );
         },
     );
 }

@@ -43,8 +43,8 @@
 use crate::cache::FeatureCache;
 use crate::scenario::SERVE_SEED;
 use crate::server::{
-    CostTable, PhaseSegments, RequestOutcome, ServeConfig, ServeReport, LATENCY_BOUNDS,
-    TIMELINE_COLUMNS,
+    CausalLog, CostTable, PhaseSegments, RequestOutcome, SegmentSplit, ServeConfig, ServeReport,
+    LATENCY_BOUNDS, TIMELINE_COLUMNS,
 };
 use crate::workload;
 use afsb_core::report::ascii_table;
@@ -53,7 +53,7 @@ use afsb_rt::fault::{FaultEvent, FaultKind, FaultPlan};
 use afsb_rt::obs::timeline::{SloMonitor, TimelineSampler};
 use afsb_rt::obs::{Histogram, ObsSession};
 use afsb_rt::rng::mix;
-use afsb_rt::sim::{Event, SimEngine, TimerId};
+use afsb_rt::sim::{Event, SimEngine, TimerId, WaitEdge};
 use afsb_seq::samples::SampleId;
 use afsb_simarch::Platform;
 use std::collections::{BTreeMap, BTreeSet};
@@ -326,7 +326,11 @@ fn retime_job(
     }
     jobs[i].start_s = new_start;
     jobs[i].done_s = new_done;
-    jobs[i].timer = engine.schedule(new_done, Event::MsaDone { request, worker: w });
+    jobs[i].timer = engine.schedule_tagged(
+        new_done,
+        Event::MsaDone { request, worker: w },
+        WaitEdge::WorkerBusy,
+    );
     outcomes[request].ready_s = new_done;
     if in_flight.contains_key(&entity) {
         in_flight.insert(entity, new_done);
@@ -335,12 +339,13 @@ fn retime_job(
         if fill.coalesced && fill.entity == entity {
             engine.cancel(fill.timer);
             let ready = new_done + fill.load_s;
-            fill.timer = engine.schedule(
+            fill.timer = engine.schedule_tagged(
                 ready,
                 Event::CacheFill {
                     request: waiter,
                     entity,
                 },
+                WaitEdge::CacheFill,
             );
             outcomes[waiter].segments.cache_wait_s += ready - outcomes[waiter].ready_s;
             outcomes[waiter].ready_s = ready;
@@ -415,6 +420,15 @@ pub fn run_serve_chaos(
     obs.tracer.begin("serve");
 
     let mut engine = SimEngine::new();
+    if config.provenance {
+        engine.record_provenance();
+    }
+    // Causal bookkeeping (observation-only, see `crate::server`):
+    // wait/service splits per provenance edge, each request's completing
+    // GpuDone, and the completion that terminates the makespan.
+    let mut splits: BTreeMap<u64, SegmentSplit> = BTreeMap::new();
+    let mut completions: Vec<Option<u64>> = vec![None; requests.len()];
+    let mut best_done: Option<(f64, u64)> = None;
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
     let mut workers = vec![0.0f64; config.cpu_workers];
     let mut worker_jobs: Vec<Vec<MsaJob>> = vec![Vec::new(); config.cpu_workers];
@@ -506,12 +520,13 @@ pub fn run_serve_chaos(
                             ready += delay;
                             injector.charge(delay);
                         }
-                        let timer = engine.schedule(
+                        let timer = engine.schedule_tagged(
                             ready,
                             Event::CacheFill {
                                 request,
                                 entity: req.entity,
                             },
+                            WaitEdge::CacheFill,
                         );
                         fills.insert(
                             request,
@@ -532,12 +547,13 @@ pub fn run_serve_chaos(
                             ready += delay;
                             injector.charge(delay);
                         }
-                        let timer = engine.schedule(
+                        let timer = engine.schedule_tagged(
                             ready,
                             Event::CacheFill {
                                 request,
                                 entity: req.entity,
                             },
+                            WaitEdge::CacheFill,
                         );
                         fills.insert(
                             request,
@@ -580,7 +596,21 @@ pub fn run_serve_chaos(
                         let done = start + msa_s;
                         workers[w] = done;
                         in_flight.insert(req.entity, done);
-                        let timer = engine.schedule(done, Event::MsaDone { request, worker: w });
+                        let timer = engine.schedule_tagged(
+                            done,
+                            Event::MsaDone { request, worker: w },
+                            WaitEdge::WorkerBusy,
+                        );
+                        if config.provenance {
+                            splits.insert(
+                                timer.seq(),
+                                SegmentSplit {
+                                    wait_s: start - req.arrival_s,
+                                    service_s: done - start,
+                                    compile_s: 0.0,
+                                },
+                            );
+                        }
                         worker_jobs[w].push(MsaJob {
                             request,
                             entity: req.entity,
@@ -602,11 +632,11 @@ pub fn run_serve_chaos(
                         segments,
                     });
                     if let Some(limit) = config.deadline.limit_seconds() {
-                        deadline_timers[request] =
-                            Some(engine.schedule(
-                                req.arrival_s + limit,
-                                Event::DeadlineExpired { request },
-                            ));
+                        deadline_timers[request] = Some(engine.schedule_tagged(
+                            req.arrival_s + limit,
+                            Event::DeadlineExpired { request },
+                            WaitEdge::Deadline,
+                        ));
                     }
                 }
                 if request + 1 < requests.len() {
@@ -641,12 +671,13 @@ pub fn run_serve_chaos(
                             outcomes[waiter].segments.cache_wait_s +=
                                 ready - outcomes[waiter].ready_s;
                             outcomes[waiter].ready_s = ready;
-                            let timer = engine.schedule(
+                            let timer = engine.schedule_tagged(
                                 ready,
                                 Event::CacheFill {
                                     request: waiter,
                                     entity: req.entity,
                                 },
+                                WaitEdge::CacheFill,
                             );
                             fills.insert(
                                 waiter,
@@ -662,7 +693,7 @@ pub fn run_serve_chaos(
                 }
                 pool.push(request);
                 if now >= gpu_free {
-                    engine.schedule(now, Event::BatchClose);
+                    engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
                 }
             }
 
@@ -670,7 +701,7 @@ pub fn run_serve_chaos(
                 fills.remove(&request);
                 pool.push(request);
                 if now >= gpu_free {
-                    engine.schedule(now, Event::BatchClose);
+                    engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
                 }
             }
 
@@ -787,12 +818,33 @@ pub fn run_serve_chaos(
                 gpu_busy += done - start;
                 gpu_free = done;
                 batches += 1;
-                engine.schedule(done, Event::GpuDone { batch: batches });
+                let timer = engine.schedule_tagged(
+                    done,
+                    Event::GpuDone { batch: batches },
+                    WaitEdge::GpuBusy,
+                );
+                if config.provenance {
+                    let compile_total = compile_end - compile_begin;
+                    splits.insert(
+                        timer.seq(),
+                        SegmentSplit {
+                            wait_s: start - now,
+                            service_s: (done - start) - compile_total,
+                            compile_s: compile_total,
+                        },
+                    );
+                    for &idx in &batch {
+                        completions[idx] = Some(timer.seq());
+                    }
+                    if best_done.is_none_or(|(t, _)| done >= t) {
+                        best_done = Some((done, timer.seq()));
+                    }
+                }
             }
 
             Event::GpuDone { .. } => {
                 if !pool.is_empty() {
-                    engine.schedule(now, Event::BatchClose);
+                    engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
                 }
             }
 
@@ -956,14 +1008,20 @@ pub fn run_serve_chaos(
                                 attempts[r],
                                 mix(config.workload.seed, BACKOFF_SALT ^ r as u64),
                             );
-                            requeue_timers[r] =
-                                Some(engine.schedule(now + backoff, Event::Requeue { request: r }));
+                            requeue_timers[r] = Some(engine.schedule_tagged(
+                                now + backoff,
+                                Event::Requeue { request: r },
+                                WaitEdge::Admission,
+                            ));
                             if breaker.record_failure() && !breaker_open {
                                 breaker_open = true;
                                 breaker_opens += 1;
                                 obs.tracer.instant_at(now, "circuit-open");
-                                engine
-                                    .schedule(now + policy.breaker_cooldown_s, Event::BreakerClose);
+                                engine.schedule_tagged(
+                                    now + policy.breaker_cooldown_s,
+                                    Event::BreakerClose,
+                                    WaitEdge::Admission,
+                                );
                             }
                         }
                     }
@@ -1014,12 +1072,13 @@ pub fn run_serve_chaos(
                                 let ready = outcomes[waiter].ready_s + fill.load_s;
                                 outcomes[waiter].segments.cache_wait_s += fill.load_s;
                                 outcomes[waiter].ready_s = ready;
-                                let timer = engine.schedule(
+                                let timer = engine.schedule_tagged(
                                     ready,
                                     Event::CacheFill {
                                         request: waiter,
                                         entity: fill.entity,
                                     },
+                                    WaitEdge::CacheFill,
                                 );
                                 fills.get_mut(&waiter).expect("fill present").timer = timer;
                                 lost += fill.load_s;
@@ -1036,12 +1095,13 @@ pub fn run_serve_chaos(
                             let ready = outcomes[*waiter].ready_s + stall_seconds;
                             outcomes[*waiter].segments.cache_wait_s += stall_seconds;
                             outcomes[*waiter].ready_s = ready;
-                            let timer = engine.schedule(
+                            let timer = engine.schedule_tagged(
                                 ready,
                                 Event::CacheFill {
                                     request: *waiter,
                                     entity: fill.entity,
                                 },
+                                WaitEdge::CacheFill,
                             );
                             fills.get_mut(waiter).expect("fill present").timer = timer;
                             lost += stall_seconds;
@@ -1146,7 +1206,21 @@ pub fn run_serve_chaos(
                 let done = start + msa_s;
                 workers[w] = done;
                 in_flight.insert(req.entity, done);
-                let timer = engine.schedule(done, Event::MsaDone { request, worker: w });
+                let timer = engine.schedule_tagged(
+                    done,
+                    Event::MsaDone { request, worker: w },
+                    WaitEdge::WorkerBusy,
+                );
+                if config.provenance {
+                    splits.insert(
+                        timer.seq(),
+                        SegmentSplit {
+                            wait_s: start - now,
+                            service_s: done - start,
+                            compile_s: 0.0,
+                        },
+                    );
+                }
                 worker_jobs[w].push(MsaJob {
                     request,
                     entity: req.entity,
@@ -1164,7 +1238,11 @@ pub fn run_serve_chaos(
                 breaker_open = false;
                 obs.tracer.instant_at(now, "circuit-closed");
                 for r in parked.drain(..) {
-                    requeue_timers[r] = Some(engine.schedule(now, Event::Requeue { request: r }));
+                    requeue_timers[r] = Some(engine.schedule_tagged(
+                        now,
+                        Event::Requeue { request: r },
+                        WaitEdge::Admission,
+                    ));
                 }
             }
         }
@@ -1323,6 +1401,16 @@ pub fn run_serve_chaos(
         m.set_gauge("serve.chaos.lost_s", lost_seconds);
     }
 
+    let causal = if config.provenance {
+        Some(CausalLog {
+            edges: engine.provenance().to_vec(),
+            makespan_event: best_done.map(|(_, seq)| seq),
+            completions,
+            splits,
+        })
+    } else {
+        None
+    };
     let base = ServeReport {
         config: *config,
         served,
@@ -1342,6 +1430,7 @@ pub fn run_serve_chaos(
         latency: latency_hist.summary(),
         timeline,
         slo,
+        causal,
         outcomes,
     };
     ChaosReport {
@@ -1533,15 +1622,16 @@ pub fn run_chaos(quick: bool) -> Vec<ChaosScenarioRun> {
 }
 
 /// [`run_chaos`] with serving telemetry (timeline sampler + SLO
-/// monitor) armed on every scenario — the `profile serve-chaos` entry
-/// point. Telemetry is observation-only, so every disposition and
-/// float matches [`run_chaos`] bit for bit.
+/// monitor) and causal provenance armed on every scenario — the
+/// `profile serve-chaos` entry point. Both are observation-only, so
+/// every disposition and float matches [`run_chaos`] bit for bit.
 pub fn run_chaos_telemetry(quick: bool) -> Vec<ChaosScenarioRun> {
     let telemetry = crate::server::TelemetryConfig::standard(quick);
     let scenarios = chaos_scenarios(quick)
         .into_iter()
         .map(|mut s| {
             s.config.telemetry = telemetry;
+            s.config.provenance = true;
             s
         })
         .collect();

@@ -29,7 +29,13 @@
 //!   recovery policy (requeue with backoff, circuit breaker, deadline
 //!   shedding, overload degradation), every admitted request ending in
 //!   exactly one disposition; with an empty plan it is byte-identical
-//!   to [`server`].
+//!   to [`server`],
+//! - [`whatif`]: the causal profiler's projection engine — virtual
+//!   speedups (MSA ×k, GPU ×k, XLA ×k, +N workers, infinite cache)
+//!   replayed Coz-style over the provenance DAG the engine recorded,
+//!   each prediction validated against a ground-truth re-run with
+//!   scaled cost tables (`rt::obs::causal` extracts the critical path
+//!   and blame shares the projections are built on).
 //!
 //! Everything runs on the simulated clock: the same seed yields
 //! byte-identical reports, metrics and traces.
@@ -40,6 +46,7 @@ pub mod reference;
 pub mod scenario;
 pub mod server;
 pub mod telemetry;
+pub mod whatif;
 pub mod workload;
 
 pub use cache::FeatureCache;
@@ -53,11 +60,15 @@ pub use scenario::{
     Scenario, ScenarioRun,
 };
 pub use server::{
-    run_serve, CostTable, PhaseSegments, RequestOutcome, ServeConfig, ServeReport, TelemetryConfig,
-    TIMELINE_COLUMNS,
+    run_serve, CausalLog, CostTable, PhaseSegments, RequestOutcome, SegmentSplit, ServeConfig,
+    ServeReport, TelemetryConfig, TIMELINE_COLUMNS,
 };
 pub use telemetry::{
     render_telemetry, render_timeline_block, run_brownout_telemetry, run_telemetry,
     TelemetryReport, TELEMETRY_CHAOS_SCENARIO,
+};
+pub use whatif::{
+    canonical_whatifs, predict_makespan, render_whatif, run_whatif, WhatIf, WhatIfReport,
+    WhatIfRow, WHATIF_OFF_PATH_DELTA_PP, WHATIF_ON_PATH_SHARE, WHATIF_ON_PATH_TOLERANCE_PP,
 };
 pub use workload::{generate, Request, WorkloadConfig};

@@ -276,6 +276,7 @@ pub fn run_serve_reference(
         latency: latency_hist.summary(),
         timeline: None,
         slo: None,
+        causal: None,
         outcomes,
     }
 }

@@ -64,6 +64,7 @@ pub fn default_scenarios(quick: bool) -> Vec<Scenario> {
         deadline: Deadline::new(Some(24.0 * 3600.0)),
         coalesce_misses: false,
         telemetry: TelemetryConfig::default(),
+        provenance: false,
     };
     vec![
         Scenario {
@@ -101,15 +102,17 @@ pub fn run_default(quick: bool) -> Vec<ScenarioRun> {
 }
 
 /// `run_default` with serving telemetry (timeline sampler + SLO
-/// monitor) enabled on every scenario. Telemetry is observation-only,
-/// so the reports differ from [`run_default`] only in the `timeline`
-/// and `slo` fields (`tests/telemetry.rs` proves it).
+/// monitor) and causal provenance enabled on every scenario. Both are
+/// observation-only, so the reports differ from [`run_default`] only
+/// in the `timeline`, `slo` and `causal` fields (`tests/telemetry.rs`
+/// and `tests/causal.rs` prove it).
 pub fn run_default_telemetry(quick: bool) -> Vec<ScenarioRun> {
     let telemetry = TelemetryConfig::standard(quick);
     let scenarios = default_scenarios(quick)
         .into_iter()
         .map(|mut s| {
             s.config.telemetry = telemetry;
+            s.config.provenance = true;
             s
         })
         .collect();
@@ -142,6 +145,7 @@ pub fn xl_scenarios(quick: bool) -> Vec<Scenario> {
         deadline: Deadline::new(Some(72.0 * 3600.0)),
         coalesce_misses: true,
         telemetry: TelemetryConfig::default(),
+        provenance: false,
     };
     vec![
         Scenario {

@@ -40,7 +40,7 @@ use afsb_gpu::runtime::{GpuRuntime, HostCpuModel};
 use afsb_model::{run_inference, ModelConfig};
 use afsb_rt::obs::timeline::{SloConfig, SloMonitor, SloOutcome, TimelineSampler};
 use afsb_rt::obs::{Histogram, HistogramSummary, ObsSession};
-use afsb_rt::sim::{Event, SimEngine, TimerId};
+use afsb_rt::sim::{Event, ProvenanceEdge, SimEngine, TimerId, WaitEdge};
 use afsb_seq::samples::SampleId;
 use afsb_simarch::config::GIB;
 use afsb_simarch::memory::CapacityModel;
@@ -89,6 +89,13 @@ pub struct ServeConfig {
     /// Never changes scheduling decisions or priced floats; off by
     /// default so existing baselines do not move.
     pub telemetry: TelemetryConfig,
+    /// Record causal provenance (the event engine's parent edges plus
+    /// the serve-side wait/service splits) into
+    /// [`ServeReport::causal`] for critical-path extraction and
+    /// what-if projection. Observation-only: outcomes, floats and
+    /// rendered reports are byte-identical with it on or off
+    /// (`tests/causal.rs`). Off by default.
+    pub provenance: bool,
 }
 
 /// Serving-telemetry switches. Everything here is observation-only:
@@ -140,6 +147,7 @@ impl Default for ServeConfig {
             deadline: Deadline::new(Some(3.0 * 86400.0)),
             coalesce_misses: false,
             telemetry: TelemetryConfig::default(),
+            provenance: false,
         }
     }
 }
@@ -339,8 +347,17 @@ impl PhaseSegments {
     /// Close the attribution at completion: the GPU-service phase is
     /// the exact residual between the observed latency and every other
     /// phase, so the seven fields always reconstruct `latency_s()`.
+    /// Float drift across chaos requeue accumulation can push the
+    /// residual a few ulps negative; it is clamped to 0 so the phase
+    /// never reads as negative time (the closure property still holds
+    /// at 1e-9).
     pub(crate) fn close(&mut self, latency_s: f64) {
-        self.gpu_service_s = latency_s - self.non_gpu_total();
+        let residual = latency_s - self.non_gpu_total();
+        debug_assert!(
+            residual > -1e-9,
+            "gpu_service residual {residual} is more than rounding-negative"
+        );
+        self.gpu_service_s = residual.max(0.0);
     }
 }
 
@@ -369,6 +386,43 @@ impl RequestOutcome {
     pub fn latency_s(&self) -> f64 {
         self.done_s - self.request.arrival_s
     }
+}
+
+/// The non-queue portion of one provenance edge, recorded by the
+/// serving loop alongside the engine's edge log so the what-if
+/// projector can scale service and queueing differently (adding
+/// workers shrinks the queue but not the service; a faster GPU shrinks
+/// both but not the one-time compile).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SegmentSplit {
+    /// Queue/contention seconds inside the edge (waiting for a free
+    /// worker, or for the GPU to drain the previous batch).
+    pub wait_s: f64,
+    /// Pure service seconds (MSA compute; GPU init + dispatch +
+    /// kernel execution).
+    pub service_s: f64,
+    /// One-time XLA compilation seconds inside a GPU edge.
+    pub compile_s: f64,
+}
+
+/// Observation-only causal record of one serving run: the engine's
+/// provenance edges plus the serve-side annotations the causal
+/// profiler needs. Populated when [`ServeConfig::provenance`] is set;
+/// carrying it changes nothing about the run itself
+/// (`tests/causal.rs` gates byte-identity).
+#[derive(Debug, Clone, Default)]
+pub struct CausalLog {
+    /// The engine's causal edge log, indexed by event seq.
+    pub edges: Vec<ProvenanceEdge>,
+    /// Seq of the completion event that terminates the makespan (the
+    /// last batch's `GpuDone`), `None` when nothing was served.
+    pub makespan_event: Option<u64>,
+    /// Per-request completion event seq (its batch's `GpuDone`);
+    /// `None` for rejected / shed / failed requests.
+    pub completions: Vec<Option<u64>>,
+    /// Wait/service splits for worker-busy and gpu-busy edges, keyed
+    /// by event seq.
+    pub splits: BTreeMap<u64, SegmentSplit>,
 }
 
 /// Everything one serving run produced.
@@ -415,6 +469,9 @@ pub struct ServeReport {
     /// SLO burn-rate evaluation (populated when `telemetry.slo` is set;
     /// observation-only).
     pub slo: Option<SloOutcome>,
+    /// Causal provenance record (populated when `config.provenance`
+    /// is set; observation-only).
+    pub causal: Option<CausalLog>,
 }
 
 impl ServeReport {
@@ -656,6 +713,15 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
     obs.tracer.begin("serve");
 
     let mut engine = SimEngine::new();
+    if config.provenance {
+        engine.record_provenance();
+    }
+    // Serve-side causal annotations (populated only under provenance):
+    // wait/service splits per edge, per-request completion events and
+    // the completion that terminates the makespan.
+    let mut splits: BTreeMap<u64, SegmentSplit> = BTreeMap::new();
+    let mut completions: Vec<Option<u64>> = vec![None; requests.len()];
+    let mut best_done: Option<(f64, u64)> = None;
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
     let mut workers = vec![0.0f64; config.cpu_workers];
     // Fills still being computed by a pool worker: entity → MSA done
@@ -727,24 +793,26 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         // fill lands plus one storage-priced load.
                         cache.coalesced_hit();
                         let ready = in_flight[&req.entity] + shape.feature_load_s;
-                        engine.schedule(
+                        engine.schedule_tagged(
                             ready,
                             Event::CacheFill {
                                 request,
                                 entity: req.entity,
                             },
+                            WaitEdge::CacheFill,
                         );
                         fills_outstanding += 1;
                         segments.cache_wait_s = ready - req.arrival_s;
                         (true, ready)
                     } else if cache.lookup(req.entity) {
                         let ready = req.arrival_s + shape.feature_load_s;
-                        engine.schedule(
+                        engine.schedule_tagged(
                             ready,
                             Event::CacheFill {
                                 request,
                                 entity: req.entity,
                             },
+                            WaitEdge::CacheFill,
                         );
                         fills_outstanding += 1;
                         segments.cache_wait_s = ready - req.arrival_s;
@@ -760,7 +828,21 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         let done = start + shape.msa_s;
                         workers[w] = done;
                         in_flight.insert(req.entity, done);
-                        engine.schedule(done, Event::MsaDone { request, worker: w });
+                        let timer = engine.schedule_tagged(
+                            done,
+                            Event::MsaDone { request, worker: w },
+                            WaitEdge::WorkerBusy,
+                        );
+                        if config.provenance {
+                            splits.insert(
+                                timer.seq(),
+                                SegmentSplit {
+                                    wait_s: start - req.arrival_s,
+                                    service_s: done - start,
+                                    compile_s: 0.0,
+                                },
+                            );
+                        }
                         msa_outstanding += 1;
                         segments.msa_queue_wait_s = start - req.arrival_s;
                         segments.msa_service_s = done - start;
@@ -776,11 +858,11 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                         segments,
                     });
                     if let Some(limit) = config.deadline.limit_seconds() {
-                        deadline_timers[request] =
-                            Some(engine.schedule(
-                                req.arrival_s + limit,
-                                Event::DeadlineExpired { request },
-                            ));
+                        deadline_timers[request] = Some(engine.schedule_tagged(
+                            req.arrival_s + limit,
+                            Event::DeadlineExpired { request },
+                            WaitEdge::Deadline,
+                        ));
                     }
                 }
                 if request + 1 < requests.len() {
@@ -808,7 +890,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 msa_outstanding -= 1;
                 pool.push(request);
                 if now >= gpu_free {
-                    engine.schedule(now, Event::BatchClose);
+                    engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
                 }
             }
 
@@ -818,7 +900,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 fills_outstanding -= 1;
                 pool.push(request);
                 if now >= gpu_free {
-                    engine.schedule(now, Event::BatchClose);
+                    engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
                 }
             }
 
@@ -919,13 +1001,38 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
                 gpu_busy += done - start;
                 gpu_free = done;
                 batches += 1;
-                engine.schedule(done, Event::GpuDone { batch: batches });
+                let timer = engine.schedule_tagged(
+                    done,
+                    Event::GpuDone { batch: batches },
+                    WaitEdge::GpuBusy,
+                );
+                if config.provenance {
+                    // The gpu-busy edge spans from this batch close to
+                    // the dispatch completing: queueing behind the
+                    // previous batch, then service, of which the
+                    // one-time compiles are separable.
+                    let compile_total = compile_end - compile_begin;
+                    splits.insert(
+                        timer.seq(),
+                        SegmentSplit {
+                            wait_s: start - now,
+                            service_s: (done - start) - compile_total,
+                            compile_s: compile_total,
+                        },
+                    );
+                    for &idx in &batch {
+                        completions[idx] = Some(timer.seq());
+                    }
+                    if best_done.is_none_or(|(t, _)| done >= t) {
+                        best_done = Some((done, timer.seq()));
+                    }
+                }
             }
 
             // The GPU freed up: if anything queued meanwhile, close the
             // next batch immediately.
             Event::GpuDone { .. } if !pool.is_empty() => {
-                engine.schedule(now, Event::BatchClose);
+                engine.schedule_tagged(now, Event::BatchClose, WaitEdge::BatchClose);
             }
 
             // An armed deadline elapsed without being cancelled. For
@@ -1029,6 +1136,17 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
     m.set_gauge("serve.gpu.occupancy", gpu_occupancy);
     m.set_gauge("serve.cache.hit_rate", cache.hit_rate());
 
+    let causal = if config.provenance {
+        Some(CausalLog {
+            edges: engine.provenance().to_vec(),
+            makespan_event: best_done.map(|(_, seq)| seq),
+            completions,
+            splits,
+        })
+    } else {
+        None
+    };
+
     ServeReport {
         config: *config,
         served,
@@ -1048,6 +1166,7 @@ pub fn run_serve(config: &ServeConfig, costs: &CostTable, obs: &mut ObsSession) 
         latency: latency_hist.summary(),
         timeline,
         slo,
+        causal,
         outcomes,
     }
 }

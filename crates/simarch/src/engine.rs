@@ -433,7 +433,16 @@ impl ThreadState {
         if seg.branches > 0 {
             let sim = seg.branches.min(BRANCH_SAMPLE_CAP);
             let scale = seg.branches as f64 / sim as f64;
-            let pc = 0x400000 + (seg.symbol.as_ptr() as u64 & 0xffff) * 64;
+            // A stable per-symbol PC: FNV-1a over the symbol *name*.
+            // Hashing the &'static str pointer made the predictor's
+            // alias pattern depend on binary layout, so mispredict
+            // counts — and every downstream cost — drifted across
+            // recompiles of identical source.
+            let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+            for &b in seg.symbol.as_bytes() {
+                name_hash = (name_hash ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+            }
+            let pc = 0x400000 + (name_hash & 0xffff) * 64;
             let mut local = BranchStats::default();
             for _ in 0..sim {
                 let regular = self.rng.gen_bool(seg.branch_regularity.clamp(0.0, 1.0));
